@@ -1,0 +1,1 @@
+"""Benchmark package (pytest-benchmark harnesses, one per paper artefact)."""

@@ -1,0 +1,78 @@
+"""Ablation: cloaking behaviour under data-cache pressure.
+
+Scales two stencil kernels past the 32K L1 and measures L1 miss rate,
+base IPC, RAW+RAR speedup and coverage.  The measured finding: pressure
+raises the miss rate several-fold and depresses IPC, yet RAR *coverage*
+is unchanged and the speedup does not grow — because a RAR sink load
+always hits (its source load just warmed the line); the new misses land
+on the streamed source loads, which cloaking by definition cannot cover.
+This is the quantified version of EXPERIMENTS.md's deviation 1: larger
+working sets alone do not close the FP magnitude gap; the paper's FP
+speedups rely on machine-balance effects beyond cache footprint.
+"""
+
+from functools import partial
+
+from repro.core import CloakingConfig, CloakingMode
+from repro.experiments.report import format_table, pct, signed_pct
+from repro.pipeline import CloakedProcessor, Processor
+from repro.workloads.base import Workload
+from repro.workloads import mgd, swm
+
+#: (label, module build fn, small n, large n)
+KERNELS = (
+    ("swm", swm.build, 18, 44),   # 7 arrays: 9 KB vs 54 KB
+    ("mgd", mgd.build, 10, 21),   # 2 fields: 8 KB vs 74 KB
+)
+MAX_INSTRUCTIONS = 60_000
+
+
+def _workload(label, build, n):
+    return Workload(
+        abbrev=f"{label}-n{n}", spec_name=label, category="fp",
+        description=f"{label} at grid size {n}",
+        builder=partial(build, n=n),
+    )
+
+
+def run_ablation():
+    rows = []
+    for label, build, small, large in KERNELS:
+        for n in (small, large):
+            workload = _workload(label, build, n)
+            base = Processor()
+            cloaked = CloakedProcessor(
+                cloaking=CloakingConfig.paper_timing(CloakingMode.RAW_RAR))
+            for inst in workload.trace(scale=1.0,
+                                       max_instructions=MAX_INSTRUCTIONS):
+                base.feed(inst)
+                cloaked.feed(inst)
+            base_result = base.finalize(workload.abbrev)
+            cloaked_result = cloaked.finalize(workload.abbrev)
+            rows.append((
+                workload.abbrev,
+                base_result.l1d_miss_rate,
+                base_result.ipc,
+                cloaked_result.speedup_over(base_result),
+                cloaked.engine.stats.coverage,
+            ))
+    return rows
+
+
+def test_ablation_cache_pressure(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    benchmark.extra_info["table"] = format_table(
+        ["kernel", "L1D miss", "base IPC", "RAW+RAR speedup", "coverage"],
+        [[name, pct(miss, 2), f"{ipc:.2f}", signed_pct(speedup), pct(cov)]
+         for name, miss, ipc, speedup, cov in rows],
+        title="Ablation: cloaking speedup vs data-cache pressure",
+    )
+    by_name = {name: (miss, ipc, speedup, cov) for name, miss, ipc,
+               speedup, cov in rows}
+    for label, _, small, large in KERNELS:
+        small_row = by_name[f"{label}-n{small}"]
+        large_row = by_name[f"{label}-n{large}"]
+        # the large variant genuinely stresses the L1 ...
+        assert large_row[0] > small_row[0]
+        # ... and cloaking coverage survives the footprint change
+        assert large_row[3] > 0.5 * small_row[3]

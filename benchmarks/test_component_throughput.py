@@ -1,0 +1,59 @@
+"""Micro-benchmarks: throughput of the simulation components themselves.
+
+These are engineering benchmarks (not paper artefacts): they track the
+interpreter, DDT, cloaking engine and cycle-level model costs so
+performance regressions in the simulator are visible.
+"""
+
+import itertools
+
+from repro.core import CloakingConfig, CloakingEngine
+from repro.dependence import DDT, DDTConfig
+from repro.pipeline import Processor
+from repro.workloads import get_workload
+
+N_INSTRUCTIONS = 20_000
+
+
+def test_interpreter_throughput(benchmark):
+    workload = get_workload("li")
+
+    def run():
+        return sum(1 for _ in workload.trace(
+            scale=1.0, max_instructions=N_INSTRUCTIONS))
+
+    count = benchmark(run)
+    assert count == N_INSTRUCTIONS
+
+
+def test_ddt_throughput(benchmark, li_trace_bench):
+    def run():
+        ddt = DDT(DDTConfig(size=128))
+        for inst in li_trace_bench:
+            if inst.is_load:
+                ddt.observe_load(inst.pc, inst.word_addr)
+            elif inst.is_store:
+                ddt.observe_store(inst.pc, inst.word_addr)
+        return ddt
+
+    ddt = benchmark(run)
+    assert ddt.loads_observed > 0
+
+
+def test_cloaking_engine_throughput(benchmark, li_trace_bench):
+    def run():
+        engine = CloakingEngine(CloakingConfig.paper_timing())
+        for inst in li_trace_bench:
+            engine.observe(inst)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.stats.loads > 0
+
+
+def test_pipeline_throughput(benchmark, li_trace_bench):
+    def run():
+        return Processor().run(iter(li_trace_bench))
+
+    result = benchmark(run)
+    assert result.cycles > 0

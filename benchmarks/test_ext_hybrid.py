@@ -1,0 +1,15 @@
+"""Benchmark: the cloaking + value-prediction hybrid extension."""
+
+from benchmarks.conftest import BENCH_SCALE, SUBSET
+from repro.experiments import ext_hybrid
+
+
+def test_ext_hybrid(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ext_hybrid.run(scale=BENCH_SCALE, workloads=SUBSET),
+        rounds=1, iterations=1)
+    benchmark.extra_info["table"] = ext_hybrid.render(rows)
+    # the hybrid never covers less than cloaking alone (minus noise)
+    assert all(r.hybrid_coverage >= r.cloaking_coverage - 0.01 for r in rows)
+    # and gains somewhere (the synergy the paper anticipates)
+    assert any(r.gain_over_cloaking > 0.02 for r in rows)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 10 (no memory dependence speculation base)."""
+
+from benchmarks.conftest import SUBSET, TIMING_SCALE
+from repro.experiments import fig9, fig10
+from repro.util.stats import harmonic_mean_speedup
+
+
+def test_fig10_nospec(benchmark):
+    def run_both():
+        with_spec = fig9.run(scale=TIMING_SCALE, workloads=SUBSET)
+        without_spec = fig10.run(scale=TIMING_SCALE, workloads=SUBSET)
+        return with_spec, without_spec
+
+    with_spec, without_spec = benchmark.pedantic(run_both, rounds=1,
+                                                 iterations=1)
+    benchmark.extra_info["table"] = fig10.render(without_spec)
+
+    # shape: speedups grow when the base does not speculate on memory
+    # dependences (paper: "significantly higher (often double)")
+    hm_spec = harmonic_mean_speedup(
+        [r.speedups["selective/RAW+RAR"] for r in with_spec])
+    hm_nospec = harmonic_mean_speedup(
+        [r.speedups["RAW+RAR"] for r in without_spec])
+    assert hm_nospec > hm_spec

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 2 (RAR memory dependence locality)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import fig2
+
+
+def test_fig2_locality(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig2.run(scale=BENCH_SCALE), rounds=1, iterations=1)
+    assert len(rows) == 36  # 18 programs x 2 address windows
+    benchmark.extra_info["table"] = fig2.render(rows)
+    # the paper's claim: locality(4) above 70% for most programs
+    infinite = [r for r in rows if r.window == "infinite" and r.sink_loads]
+    high = sum(1 for r in infinite if r.locality[3] > 0.7)
+    assert high >= len(infinite) * 0.7

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 (dependence visibility vs DDT size)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import fig5
+
+
+def test_fig5_ddt_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig5.run(scale=BENCH_SCALE), rounds=1, iterations=1)
+    assert len(rows) == 18 * len(fig5.DDT_SIZES)
+    benchmark.extra_info["table"] = fig5.render(rows)
+
+    # shape: INT leans RAW, FP leans RAR at the 128-entry point
+    at_128 = [r for r in rows if r.ddt_size == 128]
+    int_rows = [r for r in at_128 if r.category == "int"]
+    fp_rows = [r for r in at_128 if r.category == "fp"]
+    int_raw = sum(r.raw_fraction for r in int_rows) / len(int_rows)
+    int_rar = sum(r.rar_fraction for r in int_rows) / len(int_rows)
+    fp_raw = sum(r.raw_fraction for r in fp_rows) / len(fp_rows)
+    fp_rar = sum(r.rar_fraction for r in fp_rows) / len(fp_rows)
+    assert int_raw > int_rar
+    assert fp_rar > fp_raw

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 6 (cloaking coverage / misspeculation)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import fig6
+from repro.predictors.confidence import ConfidenceKind
+
+
+def test_fig6_accuracy(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig6.run(scale=BENCH_SCALE), rounds=1, iterations=1)
+    assert len(rows) == 36  # 18 programs x 2 confidence mechanisms
+    benchmark.extra_info["table"] = fig6.render(rows)
+
+    adaptive = [r for r in rows if r.confidence == ConfidenceKind.TWO_BIT.value]
+    one_bit = [r for r in rows if r.confidence == ConfidenceKind.ONE_BIT.value]
+    # adaptive cuts misspeculation by a large factor overall
+    miss_adaptive = sum(r.misspeculation for r in adaptive)
+    miss_one_bit = sum(r.misspeculation for r in one_bit)
+    assert miss_adaptive < miss_one_bit / 5
+    # RAR contributes substantial additional coverage for the FP class
+    fp = [r for r in adaptive if r.category == "fp"]
+    assert sum(r.coverage_rar for r in fp) / len(fp) > 0.2

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (address / value locality breakdowns)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import fig7
+
+
+def test_fig7_locality_breakdowns(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig7.run(scale=BENCH_SCALE), rounds=1, iterations=1)
+    assert len(rows) == 18
+    benchmark.extra_info["table"] = fig7.render(rows)
+
+    # shape: loads with address locality but no visible dependence are rare
+    # for nearly all programs (the paper's fpppp caveat allows exceptions)
+    few_nodep = sum(1 for r in rows if r.addr_none < 0.15)
+    assert few_nodep >= 14
+
+    # for most programs cloaking coverage exceeds value locality (Sec. 5.5)
+    cloak_wins = sum(1 for r in rows if r.coverage > r.value_locality)
+    assert cloak_wins >= 9

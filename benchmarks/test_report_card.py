@@ -1,0 +1,13 @@
+"""Benchmark: the full reproduction report card must grade PASS on every
+DESIGN.md shape criterion at benchmark scale."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import report_card
+
+
+def test_report_card_all_pass(benchmark):
+    criteria = benchmark.pedantic(
+        lambda: report_card.run(scale=BENCH_SCALE), rounds=1, iterations=1)
+    benchmark.extra_info["table"] = report_card.render(criteria)
+    failing = [c for c in criteria if not c.passed]
+    assert not failing, [f"{c.ident}: {c.measured}" for c in failing]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 5.1 (benchmark execution characteristics)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table51
+
+
+def test_table51_characteristics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table51.run(scale=BENCH_SCALE), rounds=1, iterations=1)
+    assert len(rows) == 18
+    benchmark.extra_info["table"] = table51.render(rows)
+    # every program contributes a plausible instruction mix
+    for row in rows:
+        assert 0.05 < row.load_fraction < 0.6

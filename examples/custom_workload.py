@@ -1,0 +1,110 @@
+"""Analyze your own kernel's memory dependence stream.
+
+Shows the full public API surface end to end: write a kernel in the mini
+ISA, execute it, sweep DDT sizes over its trace (Figure 5 style), measure
+its RAR locality (Figure 2 style) and estimate what cloaking would cover.
+
+The kernel below is a tiny sparse matrix-vector product (CSR format) — an
+indirect-addressing idiom none of the built-in workloads uses.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import CloakingConfig, CloakingEngine
+from repro.dependence import DDTConfig, DependenceProfiler
+from repro.dependence.locality import RARLocalityAnalysis
+from repro.isa import Interpreter, assemble
+from repro.workloads.base import lcg_sequence
+
+ROWS = 24
+NNZ_PER_ROW = 6
+
+
+def build_spmv_source() -> str:
+    """A CSR sparse matrix-vector product, repeated over many iterations."""
+    nnz = ROWS * NNZ_PER_ROW
+    col_indices = [v % ROWS for v in lcg_sequence(0x5A, nnz, 1 << 20)]
+    values = [1 + v % 9 for v in lcg_sequence(0x5B, nnz, 1 << 16)]
+    x_init = [1 + v % 5 for v in lcg_sequence(0x5C, ROWS, 1 << 16)]
+
+    def words(label, data):
+        return f"{label}: .word " + ", ".join(str(v) for v in data)
+
+    return f"""
+.data
+{words("colidx", col_indices)}
+{words("matval", values)}
+{words("vec_x", x_init)}
+y: .space {ROWS}
+
+.text
+main:   li   r20, 120                # repetitions
+rep:    li   r1, 0                   # row
+row:    li   r2, 0                   # accumulator
+        li   r3, 0                   # nz within row
+        li   r4, {NNZ_PER_ROW}
+        mul  r5, r1, r4              # row start index
+nz:     add  r6, r5, r3
+        sll  r6, r6, 2
+        la   r7, colidx
+        add  r7, r7, r6
+        lw   r8, 0(r7)               # column index
+        la   r9, matval
+        add  r9, r9, r6
+        lw   r10, 0(r9)              # matrix value
+        sll  r11, r8, 2
+        la   r12, vec_x
+        add  r12, r12, r11
+        lw   r13, 0(r12)             # x[col]: the gather (RAR-rich)
+        mul  r14, r10, r13
+        add  r2, r2, r14
+        addi r3, r3, 1
+        blt  r3, r4, nz
+        sll  r15, r1, 2
+        la   r16, y
+        add  r16, r16, r15
+        sw   r2, 0(r16)              # y[row]
+        addi r1, r1, 1
+        li   r17, {ROWS}
+        blt  r1, r17, row
+        addi r20, r20, -1
+        bgtz r20, rep
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(build_spmv_source(), name="spmv")
+    print(f"spmv kernel: {len(program)} static instructions\n")
+
+    # Figure 5 style: dependence visibility vs DDT size (one trace pass).
+    profiler = DependenceProfiler([DDTConfig(size=s) for s in (32, 128, 512)])
+    locality = RARLocalityAnalysis(max_n=4)
+    engine = CloakingEngine(CloakingConfig.paper_accuracy())
+    for inst in Interpreter(program).run():
+        profiler.observe(inst)
+        locality.observe(inst)
+        engine.observe(inst)
+
+    print("dependence visibility vs DDT size:")
+    for profile in profiler.profiles:
+        print(f"  DDT {profile.config.size:>4}: "
+              f"RAW {profile.raw_fraction:6.1%}  "
+              f"RAR {profile.rar_fraction:6.1%}")
+    print(f"\nRAR locality(1)={locality.locality(1):.1%}  "
+          f"locality(4)={locality.locality(4):.1%}")
+    print(f"cloaking coverage: {engine.stats.coverage:.1%} "
+          f"(RAR part {engine.stats.coverage_rar:.1%}), "
+          f"misspec {engine.stats.misspeculation_rate:.2%}\n")
+    print("SpMV is an instructive *negative* case for cloaking: the RAR")
+    print("dependence stream is perfectly regular (locality(1) is ~100%:")
+    print("each static load RAR-depends on its own previous instance), yet")
+    print("coverage stays near zero, because a strided load covers many")
+    print("addresses with one synonym and the Synonym File can only carry")
+    print("the most recent value.  Dependence predictability and value")
+    print("communicability are different properties — exactly why the paper")
+    print("reports coverage, not just locality.")
+
+
+if __name__ == "__main__":
+    main()

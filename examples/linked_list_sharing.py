@@ -1,0 +1,52 @@
+"""The paper's motivating example (Figure 3): linked-list data sharing.
+
+Uses the suite's ``li`` workload — a list interpreter where ``foo`` and
+``bar`` both read each node — to show, side by side:
+
+1. the regularity of its RAR dependence stream (Figure 2's locality
+   metric),
+2. what the original RAW-only cloaking covers,
+3. what the RAR extension adds.
+
+Run:  python examples/linked_list_sharing.py [scale]
+"""
+
+import sys
+
+from repro import CloakingConfig, CloakingEngine, CloakingMode, get_workload
+from repro.dependence.locality import RARLocalityAnalysis
+
+
+def main(scale: float = 0.2) -> None:
+    workload = get_workload("li")
+    print(f"workload: {workload.spec_name} - {workload.description}\n")
+
+    locality = RARLocalityAnalysis(max_n=4)
+    raw_only = CloakingEngine(CloakingConfig.paper_accuracy(CloakingMode.RAW))
+    combined = CloakingEngine(CloakingConfig.paper_accuracy(CloakingMode.RAW_RAR))
+
+    for inst in workload.trace(scale=scale):
+        locality.observe(inst)
+        raw_only.observe(inst)
+        combined.observe(inst)
+
+    print("RAR memory dependence locality (Figure 2 metric):")
+    for n in range(1, 5):
+        print(f"  within last {n} unique dependence(s): {locality.locality(n):.1%}")
+    print(f"  (sink loads observed: {locality.sink_loads})\n")
+
+    print("Cloaking coverage over all loads (infinite DPNT, 128-entry DDT):")
+    print(f"  RAW-only cloaking:     {raw_only.stats.coverage:.1%}")
+    print(f"  RAW+RAR cloaking:      {combined.stats.coverage:.1%}")
+    print(f"     of which via RAR:   {combined.stats.coverage_rar:.1%}")
+    print(f"  misspeculation:        {combined.stats.misspeculation_rate:.2%}\n")
+
+    gained = combined.stats.coverage - raw_only.stats.coverage
+    print(f"The RAR extension covers an additional {gained:.1%} of all loads:")
+    print("every node's data word is read twice (foo then bar), and the")
+    print("second read names the first instead of recomputing an address")
+    print("and going to memory.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.2)

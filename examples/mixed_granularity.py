@@ -1,0 +1,87 @@
+"""Cross-size memory communication: the paper's data-type caveat.
+
+Section 5.1: "we did not provide explicit support for dependences between
+instructions that access different data types as such dependences are rare
+in the SPEC95 benchmarks.  This might not be the case for other programs."
+
+This example builds such a program — a packet parser that *stores words*
+and *loads bytes* out of them (network-header style) — and shows what
+happens to cloaking with and without the repository's size-mismatch
+extension (``CloakingConfig.check_size_mismatch``).
+
+Run:  python examples/mixed_granularity.py
+"""
+
+from repro.core import CloakingConfig, CloakingEngine, CloakingMode
+from repro.dependence.ddt import DDTConfig
+from repro.isa import Interpreter, assemble
+
+SOURCE = """
+.data
+packets: .space 64          # 64 words of packet buffer
+checks:  .word 0
+
+.text
+main:   li   r20, 400             # packets to process
+        la   r1, packets
+pkt:    # "receive": write a 3-word header as words
+        andi r2, r20, 15
+        sll  r2, r2, 4            # slot offset (16 bytes)
+        add  r3, r2, r1
+        sll  r4, r20, 8
+        ori  r4, r4, 17           # version/flags byte in the low bits
+        sw   r4, 0(r3)
+        addi r5, r20, 1500
+        sw   r5, 4(r3)
+        sw   r20, 8(r3)
+        # "parse": read individual header FIELDS as bytes/halfwords
+        lbu  r6, 0(r3)            # version byte   <- word store (cross-size)
+        lbu  r7, 1(r3)            # flags byte     <- word store (cross-size)
+        lhu  r8, 4(r3)            # length halfword<- word store (cross-size)
+        lw   r9, 8(r3)            # sequence word  <- word store (same size)
+        add  r10, r6, r7
+        add  r10, r10, r8
+        add  r10, r10, r9
+        la   r11, checks
+        lw   r12, 0(r11)
+        add  r12, r12, r10
+        sw   r12, 0(r11)
+        addi r20, r20, -1
+        bgtz r20, pkt
+        halt
+"""
+
+
+def run(check_size_mismatch: bool):
+    engine = CloakingEngine(CloakingConfig(
+        mode=CloakingMode.RAW_RAR, ddt=DDTConfig(size=128),
+        dpnt_entries=None, sf_entries=None,
+        check_size_mismatch=check_size_mismatch))
+    program = assemble(SOURCE, name="packets")
+    return engine.run(Interpreter(program).run())
+
+
+def main() -> None:
+    plain = run(check_size_mismatch=False)
+    guarded = run(check_size_mismatch=True)
+
+    print("Packet parser: word stores communicate to byte/halfword loads\n")
+    print(f"{'':28s}{'paper default':>15s}{'size-checked':>15s}")
+    print(f"{'coverage':28s}{plain.coverage:>14.1%} {guarded.coverage:>14.1%}")
+    print(f"{'misspeculation rate':28s}{plain.misspeculation_rate:>14.2%} "
+          f"{guarded.misspeculation_rate:>14.2%}")
+    print()
+    print("Verification is value-based, so cross-size pairs whose numeric")
+    print("values coincide still verify correct: the halfword 'length'")
+    print("field equals its whole stored word (lengths < 65536), and the")
+    print("low 'version' byte is a constant — the unguarded mechanism keeps")
+    print("that accidental coverage, paying occasional misspeculations on")
+    print("fields whose containing word differs (the 2-bit automaton then")
+    print("shuts them off).  The size check is the conservative variant the")
+    print("original proposal sketched: it abstains on every cross-size")
+    print("pair, trading that residual coverage for a zero cross-size")
+    print("misspeculation risk.")
+
+
+if __name__ == "__main__":
+    main()

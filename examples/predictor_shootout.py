@@ -1,0 +1,59 @@
+"""Cloaking/bypassing vs last-value load value prediction (Section 5.5).
+
+Runs both predictors over a subset of the suite and cross-tabulates which
+loads each gets right — the paper's Table 5.2 analysis.  Demonstrates the
+complementarity claim: cloaking predicts the *producer* of a value, value
+prediction predicts the value itself, and they succeed on different loads.
+
+Run:  python examples/predictor_shootout.py [scale]
+"""
+
+import sys
+
+from repro import CloakingConfig, CloakingEngine, LastValuePredictor, get_workload
+
+WORKLOADS = ("com", "li", "hyd", "aps", "swm")
+
+
+def shootout(name: str, scale: float):
+    workload = get_workload(name)
+    engine = CloakingEngine(CloakingConfig.paper_overlap())
+    predictor = LastValuePredictor(capacity=16 * 1024)
+    loads = cloak_only = vp_only = both = neither = 0
+
+    for inst in workload.trace(scale=scale):
+        outcome = engine.observe(inst)
+        if not inst.is_load:
+            continue
+        loads += 1
+        vp_hit = predictor.observe(inst.pc, inst.value)
+        cloak_hit = outcome is not None and outcome.correct
+        if cloak_hit and vp_hit:
+            both += 1
+        elif cloak_hit:
+            cloak_only += 1
+        elif vp_hit:
+            vp_only += 1
+        else:
+            neither += 1
+    return loads, cloak_only, vp_only, both, neither
+
+
+def main(scale: float = 0.2) -> None:
+    print(f"{'wl':5s} {'cloak-only':>11s} {'VP-only':>9s} {'both':>7s} "
+          f"{'neither':>9s}")
+    print("-" * 46)
+    for name in WORKLOADS:
+        loads, cloak_only, vp_only, both, neither = shootout(name, scale)
+        print(f"{name:5s} {cloak_only / loads:>10.1%} {vp_only / loads:>8.1%} "
+              f"{both / loads:>6.1%} {neither / loads:>8.1%}")
+    print()
+    print("'cloak-only' loads communicate through stable dependences whose")
+    print("values change (accumulators, hash-table chains): a last-value")
+    print("predictor cannot track them.  'VP-only' loads return stable")
+    print("values with no visible dependence (e.g. hyd's converged field).")
+    print("The paper's conclusion: the techniques are complementary.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.2)

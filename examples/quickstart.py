@@ -1,0 +1,61 @@
+"""Quickstart: detect RAR dependences and cloak loads in 30 lines.
+
+Builds the paper's Figure 3 scenario — two functions each reading every
+node of a structure — directly in the mini ISA, then runs RAR-based
+cloaking over the committed trace and prints coverage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CloakingConfig, CloakingEngine, CloakingMode
+from repro.isa import Interpreter, assemble
+
+SOURCE = """
+.data
+table:  .word 3, 1, 4, 1, 5, 9, 2, 6
+sum:    .word 0
+hits:   .word 0
+
+.text
+main:   li   r10, 200            # passes over the table
+pass:   la   r1, table
+        li   r2, 0
+loop:   lw   r3, 0(r1)           # reader #1: accumulate
+        la   r4, sum
+        lw   r5, 0(r4)
+        add  r5, r5, r3
+        sw   r5, 0(r4)
+        lw   r6, 0(r1)           # reader #2: compare (RAR with reader #1)
+        slti r7, r6, 4
+        add  r8, r8, r7
+        addi r1, r1, 4
+        addi r2, r2, 1
+        slti r9, r2, 8
+        bgtz r9, loop
+        addi r10, r10, -1
+        bgtz r10, pass
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="quickstart")
+    trace = Interpreter(program).run()
+
+    engine = CloakingEngine(CloakingConfig.paper_accuracy())
+    stats = engine.run(trace)
+
+    print("Quickstart: RAW+RAR cloaking on the Figure 3 idiom")
+    print(f"  loads observed:        {stats.loads}")
+    print(f"  coverage via RAW:      {stats.coverage_raw:.1%}")
+    print(f"  coverage via RAR:      {stats.coverage_rar:.1%}")
+    print(f"  total coverage:        {stats.coverage:.1%}")
+    print(f"  misspeculation rate:   {stats.misspeculation_rate:.2%}")
+    print()
+    print("Reader #2's loads obtain their values by naming reader #1's")
+    print("loads (a RAR dependence), without address calculation or a")
+    print("cache access — the paper's RAR-based speculative memory cloaking.")
+
+
+if __name__ == "__main__":
+    main()

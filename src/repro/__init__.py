@@ -1,0 +1,72 @@
+"""Reproduction of "Read-After-Read Memory Dependence Prediction"
+(Moshovos & Sohi, MICRO 1999).
+
+The package implements, from scratch:
+
+* history-based RAR memory dependence prediction and the two latency
+  reduction techniques built on it -- RAR-based speculative memory
+  **cloaking** and **bypassing** -- as surgical extensions of the original
+  RAW-based mechanisms (:mod:`repro.core`);
+* every substrate the paper's evaluation depends on: the dependence
+  detection table and locality analyses (:mod:`repro.dependence`), a
+  last-value load value predictor and branch predictors
+  (:mod:`repro.predictors`), a two-level memory hierarchy
+  (:mod:`repro.memsys`), a cycle-level 8-wide out-of-order processor
+  (:mod:`repro.pipeline`), and an 18-program SPEC'95-like workload suite
+  over a small MIPS-like ISA (:mod:`repro.workloads`, :mod:`repro.isa`);
+* one experiment harness per table/figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import CloakingEngine, CloakingConfig, get_workload
+
+    engine = CloakingEngine(CloakingConfig.paper_accuracy())
+    stats = engine.run(get_workload("li").trace(scale=0.1))
+    print(f"coverage {stats.coverage:.1%}, "
+          f"misspeculation {stats.misspeculation_rate:.2%}")
+"""
+
+from repro.core import (
+    CloakingConfig,
+    CloakingEngine,
+    CloakingMode,
+    CloakingStats,
+    LoadOutcome,
+)
+from repro.dependence import DDT, DDTConfig, Dependence, DependenceKind
+from repro.pipeline import (
+    CloakedProcessor,
+    Processor,
+    ProcessorConfig,
+    RecoveryPolicy,
+    SimResult,
+)
+from repro.predictors import ConfidenceKind, LastValuePredictor
+from repro.workloads import all_workloads, fp_workloads, get_workload, integer_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloakingConfig",
+    "CloakingEngine",
+    "CloakingMode",
+    "CloakingStats",
+    "LoadOutcome",
+    "DDT",
+    "DDTConfig",
+    "Dependence",
+    "DependenceKind",
+    "Processor",
+    "CloakedProcessor",
+    "ProcessorConfig",
+    "RecoveryPolicy",
+    "SimResult",
+    "ConfidenceKind",
+    "LastValuePredictor",
+    "all_workloads",
+    "integer_workloads",
+    "fp_workloads",
+    "get_workload",
+    "__version__",
+]

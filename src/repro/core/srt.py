@@ -1,0 +1,39 @@
+"""The Synonym Rename Table (paper Section 5.6.1, Figure 8).
+
+Bypassing links a consumer directly to the *producer of the value* rather
+than to the load/store that communicates it.  The SRT associates a synonym
+with the physical register (here: the producing dynamic instruction) that
+currently holds the value: "loads and stores that are predicted as
+producers associate the actual producer of the desired value with their
+synonym via a synonym rename table entry.  Loads that are predicted as
+consumers inspect the SRT and the SF in parallel...  If an SRT entry is
+found, the synonym resides in the physical register file as the
+corresponding load or store has yet to commit.  Otherwise, the synonym is
+in the SF."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.util.lru import LRUTable
+
+
+class SynonymRenameTable:
+    """Maps live synonyms to the in-flight producer of their value."""
+
+    def __init__(self, entries: Optional[int] = None) -> None:
+        self._table = LRUTable(entries)
+
+    def bind(self, synonym: int, producer_tag: int) -> None:
+        """Associate a synonym with an in-flight producer (ROB tag)."""
+        self._table.put(synonym, producer_tag)
+
+    def resolve(self, synonym: int) -> Optional[int]:
+        """The in-flight producer tag for a synonym, if it has not committed."""
+        return self._table.get(synonym)
+
+    def release(self, synonym: int, producer_tag: int) -> None:
+        """Drop the binding at commit (only if it still names this producer)."""
+        if self._table.get(synonym, touch=False) == producer_tag:
+            self._table.pop(synonym)

@@ -1,0 +1,66 @@
+"""Synonym allocation and merge policies (paper Section 5.1).
+
+A *synonym* is the new name cloaking assigns to a communication group: the
+level of indirection that lets several RAW and RAR dependences per load or
+store share one storage slot in the Synonym File.
+
+When a dependence is detected between two instructions that already carry
+*different* synonyms, the groups must merge.  The original proposal scans
+the DPNT and rewrites every instance of one synonym (**full** merge); the
+paper instead adopts Chrysos and Emer's **incremental** scheme: only the
+instruction holding the larger-valued synonym is rewritten, to the smaller
+value.  The bias toward smaller values makes the group converge to one
+synonym after a few detections without any associative DPNT sweep.  The
+paper reports no noticeable accuracy difference; ``never`` (keep the
+mismatch) is provided to show why merging matters at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class MergePolicy(enum.Enum):
+    INCREMENTAL = "incremental"
+    FULL = "full"
+    NEVER = "never"
+
+
+class SynonymAllocator:
+    """Hands out fresh synonym ids and resolves merge decisions."""
+
+    def __init__(self, policy: MergePolicy = MergePolicy.INCREMENTAL) -> None:
+        self.policy = policy
+        self._next = 1  # synonym 0 is reserved as "none"
+        self.allocated = 0
+        self.merges = 0
+
+    def fresh(self) -> int:
+        """A never-before-used synonym."""
+        synonym = self._next
+        self._next += 1
+        self.allocated += 1
+        return synonym
+
+    def merge(self, source_syn: int, sink_syn: int) -> Tuple[int, int]:
+        """Resolve a conflict between two existing synonyms.
+
+        Returns ``(source_result, sink_result)`` — the synonyms each
+        instruction should carry afterwards.  Under the incremental policy
+        only the larger value is replaced; under full merge both converge
+        immediately (the DPNT sweep is carried out by the caller, which owns
+        the table); under ``never`` both keep their synonyms.
+        """
+        if source_syn == sink_syn:
+            return source_syn, sink_syn
+        self.merges += 1
+        if self.policy == MergePolicy.NEVER:
+            return source_syn, sink_syn
+        winner = min(source_syn, sink_syn)
+        if self.policy == MergePolicy.FULL:
+            return winner, winner
+        # Incremental: rewrite only the instruction holding the larger value.
+        if source_syn > sink_syn:
+            return winner, sink_syn
+        return source_syn, winner

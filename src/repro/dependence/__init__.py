@@ -1,0 +1,26 @@
+"""Memory dependence detection and dependence-stream analyses.
+
+This package implements the paper's detection substrate: the Dependence
+Detection Table (Section 3.1), the RAW/RAR classification of every executed
+load, and the stream analyses behind Figure 2 (RAR memory dependence
+locality), Figure 5 (dependence visibility vs DDT size) and Figure 7
+(address / value locality breakdowns).
+"""
+
+from repro.dependence.ddt import DDT, DDTConfig, Dependence, DependenceKind
+from repro.dependence.detector import DependenceProfile, DependenceProfiler
+from repro.dependence.locality import (
+    AddressValueLocalityAnalysis,
+    RARLocalityAnalysis,
+)
+
+__all__ = [
+    "DDT",
+    "DDTConfig",
+    "Dependence",
+    "DependenceKind",
+    "DependenceProfile",
+    "DependenceProfiler",
+    "RARLocalityAnalysis",
+    "AddressValueLocalityAnalysis",
+]

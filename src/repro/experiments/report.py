@@ -1,0 +1,72 @@
+"""Plain-text report formatting shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) if i else cell.ljust(w)
+                               for i, (cell, w) in enumerate(zip(row, widths))))
+    return "\n".join(lines)
+
+
+def pct(fraction: float, digits: int = 1) -> str:
+    """``0.1234`` → ``"12.3%"``."""
+    return f"{fraction * 100.0:.{digits}f}%"
+
+
+def signed_pct(ratio: float, digits: int = 2) -> str:
+    """A speedup ratio (1.05) as a signed percentage ("+5.00%")."""
+    return f"{(ratio - 1.0) * 100.0:+.{digits}f}%"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Sequence[tuple],
+    width: int = 50,
+    max_value: float = 1.0,
+    title: str = "",
+) -> str:
+    """Render grouped horizontal bars, one group per label.
+
+    ``series`` is a sequence of ``(series_name, values)`` where each values
+    sequence aligns with ``labels``.  Fractions in ``[0, max_value]`` map
+    onto ``width`` characters — a terminal rendition of the paper's
+    stacked-bar figures.
+    """
+    if not series:
+        raise ValueError("bar_chart needs at least one series")
+    for name, values in series:
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+    name_width = max(len(name) for name, _ in series)
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series):
+            value = values[i]
+            filled = max(0, min(width, round(width * value / max_value)))
+            prefix = label.ljust(label_width) if j == 0 else " " * label_width
+            lines.append(
+                f"{prefix}  {name.ljust(name_width)} "
+                f"|{'#' * filled}{' ' * (width - filled)}| {value * 100:5.1f}%"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Shared experiment plumbing: workload selection and argument parsing."""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.base import Workload
+
+DEFAULT_SCALE = 1.0
+
+
+def select_workloads(names: Optional[Sequence[str]] = None) -> List[Workload]:
+    """The requested workloads (paper order), or the full suite."""
+    if not names:
+        return all_workloads()
+    return [get_workload(name) for name in names]
+
+
+def experiment_parser(description: str) -> argparse.ArgumentParser:
+    """The common CLI for ``python -m repro.experiments.<name>``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help="workload scale factor (1.0 = standard size, default %(default)s)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, metavar="ABBREV",
+        help="subset of workload abbreviations (default: full suite)",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="render ASCII bar charts (where the experiment supports them)",
+    )
+    return parser
+
+
+def class_means(values_by_workload, workloads) -> tuple:
+    """Arithmetic means over the integer and floating-point classes."""
+    int_values = [v for v, w in zip(values_by_workload, workloads) if w.is_integer]
+    fp_values = [v for v, w in zip(values_by_workload, workloads) if not w.is_integer]
+    int_mean = sum(int_values) / len(int_values) if int_values else 0.0
+    fp_mean = sum(fp_values) / len(fp_values) if fp_values else 0.0
+    return int_mean, fp_mean

@@ -1,0 +1,32 @@
+"""A small MIPS-like ISA, assembler and functional interpreter.
+
+The paper evaluates on SPEC'95 binaries compiled for MIPS-I.  Every
+mechanism it studies is driven purely by the *dynamic instruction stream* —
+load/store PCs, data addresses, loaded values, and register dependences —
+so a compact RISC ISA that can express the same program idioms is a faithful
+substrate.  Workloads (:mod:`repro.workloads`) are written in this ISA and
+executed by :class:`~repro.isa.interpreter.Interpreter` to produce the
+dynamic traces all experiments consume.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import Instruction, OpClass, latency_of
+from repro.isa.interpreter import ExecutionError, Interpreter
+from repro.isa.program import Program
+from repro.isa.registers import FP_REG_BASE, NUM_REGS, fp, reg, register_name
+
+__all__ = [
+    "AssemblyError",
+    "ExecutionError",
+    "Instruction",
+    "Interpreter",
+    "OpClass",
+    "Program",
+    "assemble",
+    "latency_of",
+    "reg",
+    "fp",
+    "register_name",
+    "FP_REG_BASE",
+    "NUM_REGS",
+]

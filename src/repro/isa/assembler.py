@@ -1,0 +1,326 @@
+"""A two-pass assembler for the mini ISA.
+
+Syntax example::
+
+    .data
+    table:  .word 1, 2, 3, 4
+    buf:    .space 64            # 64 zero words
+    pi:     .float 3.14159
+
+    .text
+    main:   la   r1, table
+            li   r2, 0
+    loop:   lw   r3, 0(r1)
+            add  r2, r2, r3
+            addi r1, r1, 4
+            addi r4, r4, 1
+            blt  r4, r5, loop
+            halt
+
+Comments run from ``#`` to end of line.  ``.space`` counts words.  Labels
+may appear on their own line or prefix a statement.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import DATA_BASE, WORD_SIZE, Program
+from repro.isa.registers import RETURN_ADDRESS, parse_register
+
+
+class AssemblyError(ValueError):
+    """Raised on any syntax or semantic error, with the offending line."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+_MEM_OPERAND = re.compile(r"^(-?\d+)?\(([rf]\d+)\)$")
+_LABEL_DEF = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+
+# mnemonic -> (opclass, operand format)
+# formats: 3r = rd,rs,rt  2ri = rd,rs,imm  2r = rd,rs  ri = rd,imm
+#          mem = r,disp(base)  b2 = rs,rt,label  b1 = rs,label
+#          j = label  jr = rs  none = no operands
+_OPCODES: Dict[str, Tuple[OpClass, str]] = {
+    "add": (OpClass.IALU, "3r"),
+    "sub": (OpClass.IALU, "3r"),
+    "and": (OpClass.IALU, "3r"),
+    "or": (OpClass.IALU, "3r"),
+    "xor": (OpClass.IALU, "3r"),
+    "slt": (OpClass.IALU, "3r"),
+    "seq": (OpClass.IALU, "3r"),
+    "sne": (OpClass.IALU, "3r"),
+    "mul": (OpClass.IMUL, "3r"),
+    "div": (OpClass.IDIV, "3r"),
+    "rem": (OpClass.IDIV, "3r"),
+    "addi": (OpClass.IALU, "2ri"),
+    "andi": (OpClass.IALU, "2ri"),
+    "ori": (OpClass.IALU, "2ri"),
+    "xori": (OpClass.IALU, "2ri"),
+    "slti": (OpClass.IALU, "2ri"),
+    "sll": (OpClass.IALU, "2ri"),
+    "srl": (OpClass.IALU, "2ri"),
+    "sra": (OpClass.IALU, "2ri"),
+    "mov": (OpClass.IALU, "2r"),
+    "li": (OpClass.IALU, "ri"),
+    "la": (OpClass.IALU, "rl"),
+    "fadd.s": (OpClass.FADD, "3r"),
+    "fsub.s": (OpClass.FADD, "3r"),
+    "fadd.d": (OpClass.FADD, "3r"),
+    "fsub.d": (OpClass.FADD, "3r"),
+    "fmul.s": (OpClass.FMUL_SP, "3r"),
+    "fmul.d": (OpClass.FMUL_DP, "3r"),
+    "fdiv.s": (OpClass.FDIV_SP, "3r"),
+    "fdiv.d": (OpClass.FDIV_DP, "3r"),
+    "fclt": (OpClass.FCMP, "3r"),
+    "fcle": (OpClass.FCMP, "3r"),
+    "fceq": (OpClass.FCMP, "3r"),
+    "fmov": (OpClass.FADD, "2r"),
+    "fneg": (OpClass.FADD, "2r"),
+    "fabs": (OpClass.FADD, "2r"),
+    "itof": (OpClass.FADD, "2r"),
+    "ftoi": (OpClass.FADD, "2r"),
+    "fli": (OpClass.FADD, "rf"),
+    "lw": (OpClass.LOAD, "mem"),
+    "lf": (OpClass.LOAD, "mem"),
+    "lb": (OpClass.LOAD, "mem"),   # sign-extended byte
+    "lbu": (OpClass.LOAD, "mem"),  # zero-extended byte
+    "lh": (OpClass.LOAD, "mem"),   # sign-extended halfword
+    "lhu": (OpClass.LOAD, "mem"),
+    "sw": (OpClass.STORE, "mem"),
+    "sf": (OpClass.STORE, "mem"),
+    "sb": (OpClass.STORE, "mem"),
+    "sh": (OpClass.STORE, "mem"),
+    "beq": (OpClass.BRANCH, "b2"),
+    "bne": (OpClass.BRANCH, "b2"),
+    "blt": (OpClass.BRANCH, "b2"),
+    "bge": (OpClass.BRANCH, "b2"),
+    "blez": (OpClass.BRANCH, "b1"),
+    "bgtz": (OpClass.BRANCH, "b1"),
+    "bltz": (OpClass.BRANCH, "b1"),
+    "bgez": (OpClass.BRANCH, "b1"),
+    "j": (OpClass.JUMP, "j"),
+    "jal": (OpClass.CALL, "j"),
+    "jr": (OpClass.RETURN, "jr"),
+    "nop": (OpClass.NOP, "none"),
+    "halt": (OpClass.HALT, "none"),
+}
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()] if rest else []
+
+
+class _Statement:
+    """One source statement surviving pass 1."""
+
+    __slots__ = ("mnemonic", "operands", "line_no", "line")
+
+    def __init__(self, mnemonic: str, operands: List[str], line_no: int, line: str):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line_no = line_no
+        self.line = line
+
+
+def assemble(source: str, name: str = "<anonymous>") -> Program:
+    """Assemble ``source`` into a :class:`~repro.isa.program.Program`."""
+    labels: Dict[str, int] = {}
+    data: Dict[int, object] = {}
+    data_labels: Dict[str, int] = {}
+    statements: List[_Statement] = []
+    section = "text"
+    data_cursor = DATA_BASE
+
+    # Pass 1: collect labels, lay out data, keep instruction statements.
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while True:
+            match = _LABEL_DEF.match(line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels or label in data_labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_no, raw)
+            if section == "text":
+                labels[label] = len(statements)
+            else:
+                data_labels[label] = data_cursor
+            line = line[match.end():].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive, rest = parts[0], (parts[1] if len(parts) > 1 else "")
+            if directive == ".text":
+                section = "text"
+            elif directive == ".data":
+                section = "data"
+            elif directive == ".word":
+                for tok in _split_operands(rest):
+                    try:
+                        data[data_cursor] = int(tok, 0)
+                    except ValueError:
+                        raise AssemblyError(f"bad word value {tok!r}", line_no, raw)
+                    data_cursor += WORD_SIZE
+            elif directive == ".float":
+                for tok in _split_operands(rest):
+                    try:
+                        data[data_cursor] = float(tok)
+                    except ValueError:
+                        raise AssemblyError(f"bad float value {tok!r}", line_no, raw)
+                    data_cursor += WORD_SIZE
+            elif directive == ".space":
+                try:
+                    count = int(rest.strip(), 0)
+                except ValueError:
+                    raise AssemblyError(f"bad .space count {rest!r}", line_no, raw)
+                if count < 0:
+                    raise AssemblyError(".space count must be non-negative", line_no, raw)
+                data_cursor += count * WORD_SIZE
+            else:
+                raise AssemblyError(f"unknown directive {directive!r}", line_no, raw)
+            continue
+        if section != "text":
+            raise AssemblyError("instruction outside .text section", line_no, raw)
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1] if len(parts) > 1 else "")
+        if mnemonic not in _OPCODES:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no, raw)
+        statements.append(_Statement(mnemonic, operands, line_no, raw))
+
+    # Pass 2: encode instructions, resolving labels.
+    instructions = [
+        _encode(stmt, labels, data_labels) for stmt in statements
+    ]
+    return Program(
+        instructions=tuple(instructions),
+        labels=labels,
+        data=data,
+        data_labels=data_labels,
+        name=name,
+    )
+
+
+def _need(stmt: _Statement, count: int) -> None:
+    if len(stmt.operands) != count:
+        raise AssemblyError(
+            f"{stmt.mnemonic} expects {count} operand(s), got {len(stmt.operands)}",
+            stmt.line_no,
+            stmt.line,
+        )
+
+
+def _reg(stmt: _Statement, token: str) -> int:
+    try:
+        return parse_register(token)
+    except ValueError as exc:
+        raise AssemblyError(str(exc), stmt.line_no, stmt.line) from None
+
+
+def _int(stmt: _Statement, token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad immediate {token!r}", stmt.line_no, stmt.line) from None
+
+
+def _text_label(stmt: _Statement, token: str, labels: Dict[str, int]) -> int:
+    if token not in labels:
+        raise AssemblyError(f"undefined label {token!r}", stmt.line_no, stmt.line)
+    return labels[token]
+
+
+def _encode(
+    stmt: _Statement, labels: Dict[str, int], data_labels: Dict[str, int]
+) -> Instruction:
+    opclass, fmt = _OPCODES[stmt.mnemonic]
+    ops = stmt.operands
+    if fmt == "3r":
+        _need(stmt, 3)
+        return Instruction(
+            stmt.mnemonic, opclass,
+            rd=_reg(stmt, ops[0]), srcs=(_reg(stmt, ops[1]), _reg(stmt, ops[2])),
+        )
+    if fmt == "2ri":
+        _need(stmt, 3)
+        return Instruction(
+            stmt.mnemonic, opclass,
+            rd=_reg(stmt, ops[0]), srcs=(_reg(stmt, ops[1]),), imm=_int(stmt, ops[2]),
+        )
+    if fmt == "2r":
+        _need(stmt, 2)
+        return Instruction(
+            stmt.mnemonic, opclass, rd=_reg(stmt, ops[0]), srcs=(_reg(stmt, ops[1]),),
+        )
+    if fmt == "ri":
+        _need(stmt, 2)
+        return Instruction(stmt.mnemonic, opclass, rd=_reg(stmt, ops[0]), imm=_int(stmt, ops[1]))
+    if fmt == "rf":
+        _need(stmt, 2)
+        try:
+            value = float(ops[1])
+        except ValueError:
+            raise AssemblyError(
+                f"bad float immediate {ops[1]!r}", stmt.line_no, stmt.line
+            ) from None
+        return Instruction(stmt.mnemonic, opclass, rd=_reg(stmt, ops[0]), fimm=value)
+    if fmt == "rl":
+        _need(stmt, 2)
+        label = ops[1]
+        if label not in data_labels:
+            raise AssemblyError(
+                f"undefined data label {label!r}", stmt.line_no, stmt.line
+            )
+        return Instruction(
+            stmt.mnemonic, opclass,
+            rd=_reg(stmt, ops[0]), imm=data_labels[label], data_label=label,
+        )
+    if fmt == "mem":
+        _need(stmt, 2)
+        match = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblyError(
+                f"bad memory operand {ops[1]!r}", stmt.line_no, stmt.line
+            )
+        disp = int(match.group(1)) if match.group(1) else 0
+        base = _reg(stmt, match.group(2))
+        value_reg = _reg(stmt, ops[0])
+        if opclass == OpClass.LOAD:
+            return Instruction(stmt.mnemonic, opclass, rd=value_reg, srcs=(base,), imm=disp)
+        return Instruction(stmt.mnemonic, opclass, srcs=(base, value_reg), imm=disp)
+    if fmt == "b2":
+        _need(stmt, 3)
+        return Instruction(
+            stmt.mnemonic, opclass,
+            srcs=(_reg(stmt, ops[0]), _reg(stmt, ops[1])),
+            target=_text_label(stmt, ops[2], labels),
+        )
+    if fmt == "b1":
+        _need(stmt, 2)
+        return Instruction(
+            stmt.mnemonic, opclass,
+            srcs=(_reg(stmt, ops[0]),), target=_text_label(stmt, ops[1], labels),
+        )
+    if fmt == "j":
+        _need(stmt, 1)
+        target = _text_label(stmt, ops[0], labels)
+        if stmt.mnemonic == "jal":
+            return Instruction(stmt.mnemonic, opclass, rd=RETURN_ADDRESS, target=target)
+        return Instruction(stmt.mnemonic, opclass, target=target)
+    if fmt == "jr":
+        _need(stmt, 1)
+        return Instruction(stmt.mnemonic, opclass, srcs=(_reg(stmt, ops[0]),))
+    if fmt == "none":
+        _need(stmt, 0)
+        return Instruction(stmt.mnemonic, opclass)
+    raise AssemblyError(f"unhandled format {fmt!r}", stmt.line_no, stmt.line)

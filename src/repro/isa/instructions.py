@@ -1,0 +1,119 @@
+"""Instruction formats and operation classes of the mini ISA.
+
+Operation classes carry the execution latencies of the paper's base
+processor (Section 5.1): integer operations take 1 cycle except
+multiplication (4) and division (12); floating-point addition/subtraction
+and comparison take 2 cycles, multiplication 4 (SP) / 5 (DP), division
+12 (SP) / 15 (DP).  Loads and stores are scheduled by the load/store queue
+and the memory hierarchy, so their :func:`latency_of` is the 1-cycle address
+calculation only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class OpClass(enum.IntEnum):
+    """Functional classes, each with a fixed execution latency."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    FADD = 3      # fp add/sub (SP and DP share a 2-cycle latency)
+    FMUL_SP = 4
+    FMUL_DP = 5
+    FDIV_SP = 6
+    FDIV_DP = 7
+    FCMP = 8
+    LOAD = 9
+    STORE = 10
+    BRANCH = 11
+    JUMP = 12
+    CALL = 13
+    RETURN = 14
+    NOP = 15
+    HALT = 16
+
+
+_LATENCY = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 4,
+    OpClass.IDIV: 12,
+    OpClass.FADD: 2,
+    OpClass.FMUL_SP: 4,
+    OpClass.FMUL_DP: 5,
+    OpClass.FDIV_SP: 12,
+    OpClass.FDIV_DP: 15,
+    OpClass.FCMP: 2,
+    OpClass.LOAD: 1,     # address calculation; memory latency is modelled separately
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.CALL: 1,
+    OpClass.RETURN: 1,
+    OpClass.NOP: 1,
+    OpClass.HALT: 1,
+}
+
+CONTROL_CLASSES = frozenset(
+    (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN)
+)
+
+MEMORY_CLASSES = frozenset((OpClass.LOAD, OpClass.STORE))
+
+
+def latency_of(opclass: OpClass) -> int:
+    """Execution latency in cycles of an operation class."""
+    return _LATENCY[opclass]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``rd`` is the destination register (flat id, ``None`` for stores,
+    branches and jumps), ``srcs`` the source registers in operand order,
+    ``imm`` an immediate (also the displacement of loads/stores), and
+    ``target`` the *resolved* instruction index of a branch/jump/call.
+    ``data_label`` survives assembly for ``la`` so disassembly stays
+    readable.
+    """
+
+    opcode: str
+    opclass: OpClass
+    rd: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[int] = None
+    fimm: Optional[float] = None
+    target: Optional[int] = None
+    data_label: Optional[str] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass == OpClass.STORE
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass in CONTROL_CLASSES
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        from repro.isa.registers import register_name
+
+        parts = [self.opcode]
+        if self.rd is not None:
+            parts.append(register_name(self.rd))
+        parts.extend(register_name(s) for s in self.srcs)
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.fimm is not None:
+            parts.append(repr(self.fimm))
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        return " ".join(parts)

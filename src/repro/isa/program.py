@@ -1,0 +1,61 @@
+"""Assembled program representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.isa.instructions import Instruction
+
+TEXT_BASE = 0x1000
+DATA_BASE = 0x100000
+WORD_SIZE = 4
+
+
+@dataclass
+class Program:
+    """An assembled program: code, label maps and an initial data image.
+
+    ``data`` maps *byte* addresses (word aligned) to initial values; the
+    interpreter materializes it into its word-addressed memory.  ``pc_of``
+    converts an instruction index into the instruction address used as the
+    PC throughout the prediction machinery.
+    """
+
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, object] = field(default_factory=dict)
+    data_labels: Dict[str, int] = field(default_factory=dict)
+    text_base: int = TEXT_BASE
+    name: str = "<anonymous>"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def pc_of(self, index: int) -> int:
+        """Instruction address of the instruction at ``index``."""
+        return self.text_base + WORD_SIZE * index
+
+    def index_of(self, pc: int) -> int:
+        """Inverse of :meth:`pc_of`."""
+        index, rem = divmod(pc - self.text_base, WORD_SIZE)
+        if rem or not 0 <= index < len(self.instructions):
+            raise ValueError(f"pc {pc:#x} is not inside program {self.name!r}")
+        return index
+
+    def address_of(self, label: str) -> int:
+        """Byte address of a data label."""
+        try:
+            return self.data_labels[label]
+        except KeyError:
+            raise KeyError(f"no data label {label!r} in program {self.name!r}") from None
+
+    def disassemble(self) -> str:
+        """A printable listing (debug / example aid)."""
+        index_labels: Dict[int, str] = {v: k for k, v in self.labels.items()}
+        lines = []
+        for i, inst in enumerate(self.instructions):
+            label = index_labels.get(i)
+            prefix = f"{label}:" if label else ""
+            lines.append(f"{prefix:>16} {self.pc_of(i):#08x}  {inst}")
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""The base processor's memory hierarchy (paper Section 5.1).
+
+Two-level cache hierarchy with write-combining write buffers and an
+infinite main memory: a 32K/16B-block/2-way L1 data cache (2-cycle hits),
+a 64K/16B/2-way L1 instruction cache (2-cycle hits), a unified 4M/128B/
+8-way L2 (10-cycle hits) and 50-cycle main memory (first-word latencies).
+"""
+
+from repro.memsys.cache import Cache, CacheConfig
+from repro.memsys.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+from repro.memsys.write_buffer import WriteBuffer
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "WriteBuffer",
+    "MemoryHierarchy",
+    "MemoryHierarchyConfig",
+]

@@ -1,0 +1,89 @@
+"""Set-associative cache model with LRU replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and hit latency of one cache level."""
+
+    size_bytes: int
+    block_bytes: int
+    ways: int
+    hit_latency: int
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.block_bytes <= 0 or self.ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.block_bytes * self.ways):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"block*ways ({self.block_bytes}*{self.ways})"
+            )
+        num_sets = self.size_bytes // (self.block_bytes * self.ways)
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"{self.name}: number of sets must be a power of two")
+        if self.block_bytes & (self.block_bytes - 1):
+            raise ValueError(f"{self.name}: block size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.block_bytes * self.ways)
+
+
+class Cache:
+    """One cache level; tracks tags only (data values live in the trace)."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._block_shift = config.block_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Access a byte address; returns True on hit.  Allocates on miss.
+
+        Both reads and writes allocate (write-allocate, write-back).  Dirty
+        evictions are counted as writebacks for statistics.
+        """
+        block = addr >> self._block_shift
+        entries = self._sets[block & self._set_mask]
+        self.accesses += 1
+        if block in entries:
+            entries.move_to_end(block)
+            if is_write:
+                entries[block] = True
+            return True
+        self.misses += 1
+        if len(entries) >= self.config.ways:
+            _, dirty = entries.popitem(last=False)
+            if dirty:
+                self.writebacks += 1
+        entries[block] = is_write
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Tag probe without LRU update or allocation."""
+        block = addr >> self._block_shift
+        return block in self._sets[block & self._set_mask]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def clear(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0

@@ -1,0 +1,81 @@
+"""The composed two-level memory hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsys.cache import Cache, CacheConfig
+from repro.memsys.write_buffer import WriteBuffer
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """Paper Section 5.1 defaults."""
+
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, block_bytes=16, ways=2, hit_latency=2, name="L1D"))
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=64 * 1024, block_bytes=16, ways=2, hit_latency=2, name="L1I"))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=4 * 1024 * 1024, block_bytes=128, ways=8, hit_latency=10,
+        name="L2"))
+    memory_latency: int = 50
+    write_buffer_blocks: int = 32
+
+
+class MemoryHierarchy:
+    """Latency oracle for instruction fetches, loads and stores.
+
+    ``load``/``store``/``fetch`` return the access latency in cycles and
+    update all cache state.  Stores complete into the L1-L2 write buffer,
+    so a store's latency is the L1 access time unless the buffer stalls.
+    """
+
+    def __init__(self, config: MemoryHierarchyConfig = MemoryHierarchyConfig()):
+        self.config = config
+        self.l1d = Cache(config.l1d)
+        self.l1i = Cache(config.l1i)
+        self.l2 = Cache(config.l2)
+        self.wb_l1_l2 = WriteBuffer(config.write_buffer_blocks,
+                                    config.l1d.block_bytes,
+                                    drain_latency=config.l2.hit_latency)
+        self.wb_l2_mem = WriteBuffer(config.write_buffer_blocks,
+                                     config.l2.block_bytes,
+                                     drain_latency=config.memory_latency)
+
+    def load(self, addr: int, now: int = 0) -> int:
+        """Data load latency at byte address ``addr`` issued at cycle ``now``."""
+        latency = self.config.l1d.hit_latency
+        if self.l1d.access(addr):
+            return latency
+        if self.wb_l1_l2.probe(addr, now):
+            # Hit on a block still sitting in the write buffer.
+            return latency
+        latency += self.config.l2.hit_latency
+        if self.l2.access(addr):
+            return latency
+        if self.wb_l2_mem.probe(addr, now):
+            return latency
+        return latency + self.config.memory_latency
+
+    def store(self, addr: int, now: int = 0) -> int:
+        """Data store latency (write-allocate into L1, buffered below)."""
+        latency = self.config.l1d.hit_latency
+        if not self.l1d.access(addr, is_write=True):
+            # The line is allocated; the old block (if dirty) and the miss
+            # fill traffic are absorbed by the write buffer.
+            done = self.wb_l1_l2.push(addr, now)
+            latency += max(0, done - now)
+            if not self.l2.access(addr, is_write=True):
+                self.wb_l2_mem.push(addr, now)
+        return latency
+
+    def fetch(self, pc: int, now: int = 0) -> int:
+        """Instruction fetch latency."""
+        latency = self.config.l1i.hit_latency
+        if self.l1i.access(pc):
+            return latency
+        latency += self.config.l2.hit_latency
+        if self.l2.access(pc):
+            return latency
+        return latency + self.config.memory_latency

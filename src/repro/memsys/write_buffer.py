@@ -1,0 +1,69 @@
+"""Write-combining write buffers (paper Section 5.1).
+
+"Write buffers of 32 blocks each are included between L1 and L2, and
+between L2 and main memory.  All write buffers perform write combining and
+hits on miss are simulated for loads and stores."
+
+The buffer holds block addresses with their drain deadline.  Stores merge
+into an existing entry for the same block (write combining).  A load that
+hits a buffered block ("hit on miss") is serviced at the buffer, i.e. no
+lower-level access is needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class WriteBuffer:
+    """A bounded buffer of dirty blocks awaiting drain to the next level."""
+
+    def __init__(self, blocks: int = 32, block_bytes: int = 16,
+                 drain_latency: int = 10) -> None:
+        if blocks <= 0:
+            raise ValueError("blocks must be positive")
+        if block_bytes & (block_bytes - 1):
+            raise ValueError("block size must be a power of two")
+        self.blocks = blocks
+        self.drain_latency = drain_latency
+        self._block_shift = block_bytes.bit_length() - 1
+        self._entries: "OrderedDict[int, int]" = OrderedDict()  # block -> ready time
+        self.combines = 0
+        self.load_hits = 0
+        self.stalls = 0
+
+    def _drain(self, now: int) -> None:
+        while self._entries:
+            block, ready = next(iter(self._entries.items()))
+            if ready > now:
+                break
+            del self._entries[block]
+
+    def push(self, addr: int, now: int) -> int:
+        """Insert (or combine) a store; returns the cycle the store completes.
+
+        When the buffer is full, the store stalls until the oldest entry
+        drains.
+        """
+        self._drain(now)
+        block = addr >> self._block_shift
+        if block in self._entries:
+            self.combines += 1
+            return now
+        if len(self._entries) >= self.blocks:
+            self.stalls += 1
+            _, oldest_ready = self._entries.popitem(last=False)
+            now = max(now, oldest_ready)
+        self._entries[block] = now + self.drain_latency
+        return now
+
+    def probe(self, addr: int, now: int) -> bool:
+        """Does a load hit a buffered block ("hit on miss")?"""
+        self._drain(now)
+        hit = (addr >> self._block_shift) in self._entries
+        if hit:
+            self.load_hits += 1
+        return hit
+
+    def __len__(self) -> int:
+        return len(self._entries)

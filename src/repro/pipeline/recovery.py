@@ -1,0 +1,20 @@
+"""Value-misspeculation recovery policies (paper Section 5.6.1).
+
+* **selective** invalidation re-executes only the instructions that used
+  incorrect data; its cost is the rescheduling delay of the dependent
+  chain.  The paper finds it performs close to an oracle.
+* **squash** invalidation flushes everything from the misspeculated
+  instruction on and refetches, like a branch mispredict.  The paper finds
+  it rarely yields speedups.
+* **oracle** never speculates when doing so would misspeculate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RecoveryPolicy(enum.Enum):
+    SELECTIVE = "selective"
+    SQUASH = "squash"
+    ORACLE = "oracle"

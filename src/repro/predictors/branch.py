@@ -1,0 +1,133 @@
+"""Branch prediction for the timing model (paper Section 5.1).
+
+The base processor uses "a 64-entry call stack and a 64k-entry combined
+predictor that uses a 2-bit counter selector to choose among a 2-bit
+counter-based and a GSHARE predictors".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+class BimodalPredictor:
+    """A PC-indexed table of 2-bit counters."""
+
+    def __init__(self, entries: int = 64 * 1024) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self._mask = entries - 1
+        self._counters = [2] * entries  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self._counters[index]
+        if taken:
+            if value < 3:
+                self._counters[index] = value + 1
+        elif value > 0:
+            self._counters[index] = value - 1
+
+
+class GSharePredictor:
+    """Global-history XOR PC indexed 2-bit counters."""
+
+    def __init__(self, entries: int = 64 * 1024, history_bits: int = 12) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self._mask = entries - 1
+        self._counters = [2] * entries
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self._counters[index]
+        if taken:
+            if value < 3:
+                self._counters[index] = value + 1
+        elif value > 0:
+            self._counters[index] = value - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class CombinedPredictor:
+    """McFarling-style chooser between bimodal and gshare components."""
+
+    def __init__(self, entries: int = 64 * 1024, history_bits: int = 12) -> None:
+        self.bimodal = BimodalPredictor(entries)
+        self.gshare = GSharePredictor(entries, history_bits)
+        self._selector = [2] * entries  # >=2 means "use gshare"
+        self._mask = entries - 1
+        self.lookups = 0
+        self.correct = 0
+
+    def predict(self, pc: int) -> bool:
+        if self._selector[(pc >> 2) & self._mask] >= 2:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Predict, train all components, return prediction correctness."""
+        bim = self.bimodal.predict(pc)
+        gsh = self.gshare.predict(pc)
+        index = (pc >> 2) & self._mask
+        use_gshare = self._selector[index] >= 2
+        prediction = gsh if use_gshare else bim
+        # Selector trains toward whichever component was right (when they
+        # disagree in correctness).
+        if gsh == taken and bim != taken:
+            if self._selector[index] < 3:
+                self._selector[index] += 1
+        elif bim == taken and gsh != taken:
+            if self._selector[index] > 0:
+                self._selector[index] -= 1
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+        self.lookups += 1
+        if prediction == taken:
+            self.correct += 1
+        return prediction == taken
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0
+
+
+class ReturnAddressStack:
+    """A 64-entry circular return-address stack."""
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self._stack: List[int] = []
+        self.depth = depth
+        self.pushes = 0
+        self.correct_pops = 0
+        self.pops = 0
+
+    def push(self, return_pc: int) -> None:
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            del self._stack[0]
+        self.pushes += 1
+
+    def predict_and_pop(self, actual_target: int) -> bool:
+        """Pop a predicted return target; return whether it matched."""
+        self.pops += 1
+        predicted = self._stack.pop() if self._stack else None
+        hit = predicted == actual_target
+        if hit:
+            self.correct_pops += 1
+        return hit

@@ -1,0 +1,43 @@
+"""Last-value load value prediction (paper Section 5.5).
+
+The comparison baseline of Table 5.2: a fully-associative, 16K-entry
+last-value predictor indexed by load PC.  It predicts that a load returns
+the value its previous execution returned.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.util.lru import LRUTable
+
+
+class LastValuePredictor:
+    """PC-indexed last-value predictor with LRU replacement."""
+
+    def __init__(self, capacity: Optional[int] = 16 * 1024) -> None:
+        self._table = LRUTable(capacity)
+        self.predictions = 0
+        self.correct = 0
+
+    def predict(self, pc: int) -> Optional[object]:
+        """The predicted value for this load, or ``None`` on a table miss."""
+        return self._table.get(pc)
+
+    def observe(self, pc: int, value: object) -> bool:
+        """Predict, verify against ``value``, train; return correctness.
+
+        A table miss counts as an incorrect (absent) prediction, matching
+        how the paper computes value locality fractions over all loads.
+        """
+        predicted = self._table.get(pc)
+        hit = predicted is not None and predicted == value
+        self.predictions += 1
+        if hit:
+            self.correct += 1
+        self._table.put(pc, value)
+        return hit
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0

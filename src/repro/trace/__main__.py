@@ -1,0 +1,79 @@
+"""Trace tooling CLI: ``python -m repro.trace <command> ...``.
+
+Commands:
+
+* ``dump <workload> -o FILE [--scale S] [--max N]`` — execute a workload
+  and save its committed trace (see :mod:`repro.trace.serialize`).
+* ``stats <FILE-or-workload> [--scale S] [--max N]`` — print the
+  instruction mix of a saved trace file or of a workload run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Iterable, Optional, Sequence
+
+from repro.trace.records import DynInst
+from repro.trace.serialize import load_trace, save_trace
+from repro.trace.stats import collect_stats
+
+
+def _workload_trace(name: str, scale: float,
+                    max_instructions: Optional[int]) -> Iterable[DynInst]:
+    from repro.workloads import get_workload
+
+    return get_workload(name).trace(scale=scale,
+                                    max_instructions=max_instructions)
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    trace = _workload_trace(args.workload, args.scale, args.max)
+    count = save_trace(trace, args.output, name=args.workload)
+    print(f"wrote {count:,} records to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if os.path.exists(args.source):
+        trace: Iterable[DynInst] = load_trace(args.source)
+        label = args.source
+    else:
+        trace = _workload_trace(args.source, args.scale, args.max)
+        label = f"workload {args.source!r} (scale {args.scale})"
+    stats = collect_stats(trace)
+    print(f"{label}:")
+    print(f"  instructions: {stats.instructions:,}")
+    print(f"  loads:        {stats.loads:,} ({stats.load_fraction:.1%})")
+    print(f"  stores:       {stats.stores:,} ({stats.store_fraction:.1%})")
+    print(f"  branches:     {stats.branch_fraction:.1%}")
+    print(f"  fp ops:       {stats.fp_fraction:.1%}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dump = sub.add_parser("dump", help="execute a workload, save its trace")
+    dump.add_argument("workload")
+    dump.add_argument("-o", "--output", required=True)
+    dump.add_argument("--scale", type=float, default=0.1)
+    dump.add_argument("--max", type=int, default=None,
+                      help="cap the number of committed instructions")
+    dump.set_defaults(func=_cmd_dump)
+
+    stats = sub.add_parser("stats", help="instruction mix of a trace/workload")
+    stats.add_argument("source", help="a saved trace file or a workload name")
+    stats.add_argument("--scale", type=float, default=0.1)
+    stats.add_argument("--max", type=int, default=None)
+    stats.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""The dynamic instruction record every analysis consumes."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.instructions import OpClass
+
+
+class DynInst:
+    """One committed dynamic instruction.
+
+    Attributes
+    ----------
+    index:
+        Dynamic sequence number (commit order).
+    pc:
+        Instruction address.  All prediction in the paper is PC-indexed.
+    opclass:
+        Functional class, carrying the execution latency.
+    rd:
+        Destination register (flat id) or ``None``.
+    srcs:
+        Source registers in operand order.  For stores the first source is
+        the address base and the second the data register.
+    addr:
+        Effective byte address for loads/stores, else ``None``.
+    value:
+        For a load, the value read; for a store, the value written.  Drives
+        cloaking verification and value-prediction experiments.
+    taken / target_pc:
+        Branch outcome and destination for control instructions.
+    """
+
+    __slots__ = ("index", "pc", "opclass", "rd", "srcs", "addr", "value",
+                 "taken", "target_pc", "size")
+
+    def __init__(
+        self,
+        index: int,
+        pc: int,
+        opclass: OpClass,
+        rd: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        addr: Optional[int] = None,
+        value: object = None,
+        taken: Optional[bool] = None,
+        target_pc: Optional[int] = None,
+        size: int = 4,
+    ) -> None:
+        self.index = index
+        self.pc = pc
+        self.opclass = opclass
+        self.rd = rd
+        self.srcs = srcs
+        self.addr = addr
+        self.value = value
+        self.taken = taken
+        self.target_pc = target_pc
+        self.size = size
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass == OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opclass == OpClass.LOAD or self.opclass == OpClass.STORE
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass in (
+            OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN
+        )
+
+    @property
+    def word_addr(self) -> Optional[int]:
+        """Word-granularity address (the granularity the paper's DDT uses)."""
+        return None if self.addr is None else self.addr >> 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        extra = ""
+        if self.is_mem:
+            extra = f" addr={self.addr:#x} value={self.value!r}"
+        elif self.is_control:
+            extra = f" taken={self.taken} target={self.target_pc:#x}"
+        return f"<DynInst #{self.index} pc={self.pc:#x} {self.opclass.name}{extra}>"

@@ -1,0 +1,86 @@
+"""Timing:functional trace sampling (paper Section 5.1).
+
+The paper simulates 50,000-instruction observation windows in full timing
+mode, then switches to functional simulation for ``ratio`` times as many
+instructions (during which caches and branch predictors stay warm).  A
+sampling ratio of ``1:2`` means one timing window followed by two windows'
+worth of functional instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.trace.records import DynInst
+
+OBSERVATION_SIZE = 50_000
+
+TIMING = "timing"
+FUNCTIONAL = "functional"
+
+
+@dataclass
+class SampledSegment:
+    """A contiguous run of instructions simulated in a single mode."""
+
+    mode: str
+    instructions: List[DynInst]
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """An alternating timing/functional schedule.
+
+    ``timing`` and ``functional`` are the ratio parts from Table 5.1
+    ("1:2" -> ``SamplingPlan(1, 2)``); ``functional=0`` disables sampling
+    (the "N/A" programs).
+    """
+
+    timing: int = 1
+    functional: int = 0
+    observation: int = OBSERVATION_SIZE
+
+    def __post_init__(self) -> None:
+        if self.timing < 1:
+            raise ValueError("timing part of the ratio must be >= 1")
+        if self.functional < 0:
+            raise ValueError("functional part of the ratio must be >= 0")
+        if self.observation < 1:
+            raise ValueError("observation window must be >= 1")
+
+    @classmethod
+    def parse(cls, text: str, observation: int = OBSERVATION_SIZE) -> "SamplingPlan":
+        """Parse a Table 5.1 ratio string: ``"1:2"`` or ``"N/A"``."""
+        text = text.strip()
+        if text.upper() in ("N/A", "NA", ""):
+            return cls(1, 0, observation)
+        timing_part, _, functional_part = text.partition(":")
+        return cls(int(timing_part), int(functional_part), observation)
+
+    @property
+    def enabled(self) -> bool:
+        return self.functional > 0
+
+    def segments(self, trace: Iterable[DynInst]) -> Iterator[SampledSegment]:
+        """Chop a trace into alternating timing/functional segments."""
+        timing_len = self.timing * self.observation
+        functional_len = self.functional * self.observation
+        mode = TIMING
+        budget = timing_len
+        chunk: List[DynInst] = []
+        for inst in trace:
+            chunk.append(inst)
+            budget -= 1
+            if budget == 0:
+                yield SampledSegment(mode, chunk)
+                chunk = []
+                if self.enabled:
+                    mode = FUNCTIONAL if mode == TIMING else TIMING
+                budget = timing_len if mode == TIMING else functional_len
+        if chunk:
+            yield SampledSegment(mode, chunk)
+
+    def timing_fraction(self) -> float:
+        """Fraction of instructions simulated in timing mode."""
+        return self.timing / (self.timing + self.functional)

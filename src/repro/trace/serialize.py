@@ -1,0 +1,135 @@
+"""Trace serialization: save committed-instruction streams to disk.
+
+Interpreting a workload dominates the cost of most experiments; saving the
+trace lets repeated analyses (or external tools) skip re-execution.  The
+format is a compact text format, one record per line::
+
+    R <index> <pc> <opclass> [fields...]
+
+with per-class fields:
+
+* loads:    ``rd addr size value``
+* stores:   ``addr size value``
+* control:  ``taken target_pc``
+* others:   ``rd``
+
+Values are ``i<int>`` or ``f<float-hex>`` so integer/float identity
+round-trips exactly (float equality matters: cloaking verification is
+value-based).  A header line carries a format version and the source
+name.  Streams are written/read incrementally, so arbitrarily long traces
+serialize in constant memory.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator
+
+from repro.isa.instructions import OpClass
+from repro.trace.records import DynInst
+
+FORMAT_VERSION = 1
+_CONTROL = (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN)
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or of an unknown version."""
+
+
+def _encode_value(value: object) -> str:
+    if isinstance(value, bool):
+        raise TraceFormatError(f"boolean trace value: {value!r}")
+    if isinstance(value, int):
+        return f"i{value}"
+    if isinstance(value, float):
+        return f"f{value.hex()}"
+    raise TraceFormatError(f"unsupported trace value type: {type(value)}")
+
+
+def _decode_value(token: str) -> object:
+    if token.startswith("i"):
+        return int(token[1:])
+    if token.startswith("f"):
+        return float.fromhex(token[1:])
+    raise TraceFormatError(f"bad value token: {token!r}")
+
+
+def write_trace(trace: Iterable[DynInst], fp: IO[str],
+                name: str = "") -> int:
+    """Stream a trace to a text file object; returns the record count."""
+    fp.write(f"# repro-trace v{FORMAT_VERSION} {name}\n")
+    count = 0
+    for inst in trace:
+        cls = inst.opclass
+        head = f"R {inst.index} {inst.pc} {cls.value}"
+        if cls == OpClass.LOAD:
+            fp.write(f"{head} {inst.rd} {inst.addr} {inst.size} "
+                     f"{_encode_value(inst.value)}\n")
+        elif cls == OpClass.STORE:
+            fp.write(f"{head} {inst.addr} {inst.size} "
+                     f"{_encode_value(inst.value)}\n")
+        elif cls in _CONTROL:
+            fp.write(f"{head} {int(bool(inst.taken))} {inst.target_pc}\n")
+        else:
+            rd = -1 if inst.rd is None else inst.rd
+            fp.write(f"{head} {rd}\n")
+        count += 1
+    return count
+
+
+def read_trace(fp: IO[str]) -> Iterator[DynInst]:
+    """Stream records back from a file object written by :func:`write_trace`.
+
+    Register *source* lists are not serialized (analyses that consume saved
+    traces — DDT, cloaking, locality — key on PCs, addresses and values);
+    loads and stores come back with empty ``srcs``.
+    """
+    header = fp.readline()
+    if not header.startswith("# repro-trace v"):
+        raise TraceFormatError(f"not a repro trace file: {header[:40]!r}")
+    version = header.split()[2]
+    if version != f"v{FORMAT_VERSION}":
+        raise TraceFormatError(f"unsupported trace version {version}")
+    for line_no, line in enumerate(fp, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] != "R" or len(parts) < 4:
+            raise TraceFormatError(f"line {line_no}: bad record {line!r}")
+        index = int(parts[1])
+        pc = int(parts[2])
+        cls = OpClass(int(parts[3]))
+        try:
+            if cls == OpClass.LOAD:
+                yield DynInst(index, pc, cls, rd=int(parts[4]),
+                              addr=int(parts[5]), size=int(parts[6]),
+                              value=_decode_value(parts[7]))
+            elif cls == OpClass.STORE:
+                yield DynInst(index, pc, cls, addr=int(parts[4]),
+                              size=int(parts[5]),
+                              value=_decode_value(parts[6]))
+            elif cls in _CONTROL:
+                yield DynInst(index, pc, cls, taken=bool(int(parts[4])),
+                              target_pc=int(parts[5]))
+            else:
+                rd = int(parts[4])
+                yield DynInst(index, pc, cls, rd=None if rd < 0 else rd)
+        except (IndexError, ValueError) as exc:
+            raise TraceFormatError(
+                f"line {line_no}: {exc}: {line!r}") from None
+
+
+def save_trace(trace: Iterable[DynInst], path: str, name: str = "") -> int:
+    """Write a trace to ``path``; returns the record count."""
+    with open(path, "w") as fp:
+        return write_trace(trace, fp, name=name)
+
+
+def load_trace(path: str) -> Iterator[DynInst]:
+    """Iterate the records stored at ``path``.
+
+    The file stays open for the duration of the iteration; exhaust or
+    close the generator to release it.
+    """
+    with open(path) as fp:
+        yield from read_trace(fp)

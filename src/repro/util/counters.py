@@ -1,0 +1,56 @@
+"""Saturating counters, the basic state element of history-based predictors."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-state up/down saturating counter.
+
+    The counter holds a value in ``[0, maximum]``.  ``increment`` and
+    ``decrement`` saturate at the bounds.  Predictors derive a taken /
+    not-taken (or confident / not-confident) decision by comparing against a
+    threshold, conventionally the midpoint.
+    """
+
+    __slots__ = ("value", "maximum", "threshold")
+
+    def __init__(self, maximum: int, initial: int = 0, threshold: int | None = None) -> None:
+        if maximum < 1:
+            raise ValueError(f"maximum must be >= 1, got {maximum}")
+        if not 0 <= initial <= maximum:
+            raise ValueError(f"initial {initial} out of range [0, {maximum}]")
+        self.maximum = maximum
+        self.value = initial
+        self.threshold = (maximum + 1) // 2 if threshold is None else threshold
+
+    @classmethod
+    def two_bit(cls, initial: int = 0) -> "SaturatingCounter":
+        """The classic 2-bit automaton (states 0..3, predict when >= 2)."""
+        return cls(maximum=3, initial=initial, threshold=2)
+
+    @classmethod
+    def one_bit(cls, initial: int = 0) -> "SaturatingCounter":
+        """A 1-bit predictor: predicts whatever happened last."""
+        return cls(maximum=1, initial=initial, threshold=1)
+
+    def increment(self) -> None:
+        if self.value < self.maximum:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    def update(self, outcome: bool) -> None:
+        """Strengthen on a positive outcome, weaken on a negative one."""
+        if outcome:
+            self.increment()
+        else:
+            self.decrement()
+
+    @property
+    def predict(self) -> bool:
+        return self.value >= self.threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SaturatingCounter(value={self.value}, max={self.maximum})"

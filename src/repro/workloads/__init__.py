@@ -1,0 +1,31 @@
+"""The synthetic SPEC'95-like workload suite.
+
+The paper evaluates eighteen SPEC'95 programs.  Those binaries (and the
+MIPS-I toolchain that produced them) are not available here, so each
+program is replaced by a synthetic kernel — written in the repository's
+mini ISA — that exercises the *memory dependence idioms* the paper
+attributes to it: pointer chasing and interpreted structures for the
+integer codes, stencil sweeps and long-lived memory-resident scalars for
+the Fortran floating-point codes.  See DESIGN.md §1 for the substitution
+argument and each kernel module's docstring for its specific idiom mapping.
+
+Every workload is registered in :mod:`repro.workloads.suite`; experiments
+iterate ``suite.all_workloads()`` and stream traces via
+:meth:`Workload.trace`.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.suite import (
+    all_workloads,
+    fp_workloads,
+    get_workload,
+    integer_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "all_workloads",
+    "fp_workloads",
+    "integer_workloads",
+    "get_workload",
+]

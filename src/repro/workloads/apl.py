@@ -1,0 +1,110 @@
+"""``110.applu`` stand-in: SSOR banded triangular solve.
+
+Applu's lower-triangular sweep reads several coefficient arrays per point
+and consumes solution values produced a row earlier (RAW at one-row
+distance), while the coefficient arrays are re-read across the sweep's
+sub-steps (RAR).  Memory-resident relaxation parameters add read-only
+scalar traffic.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_N = 18
+_BASE_SWEEPS = 43
+
+
+def build(scale: float = 1.0) -> str:
+    sweeps = scaled(_BASE_SWEEPS, scale)
+    cells = _N * _N
+
+    def coeffs(seed: int):
+        return [0.1 + round(v / (1 << 23), 6)
+                for v in lcg_sequence(seed, cells, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.floats("coef_a", coeffs(0xA0))
+    asm.floats("coef_b", coeffs(0xA1))
+    asm.floats("coef_c", coeffs(0xA2))
+    asm.floats("sol", [1.0] * cells)
+    asm.floats("omega", [1.2])
+    asm.floats("rsd", [0.0])
+
+    row = 4 * _N
+    asm.ins(
+        f"li   r20, {sweeps}",
+        "la   r1, coef_a",
+        "la   r2, coef_b",
+        "la   r3, coef_c",
+        "la   r4, sol",
+        "la   r5, omega",
+    )
+    asm.label("sweep")
+    asm.ins("li   r6, 1")
+    asm.label("irow")
+    asm.ins(
+        "li   r7, 1",
+        f"li   r8, {_N}",
+        "mul  r9, r6, r8",
+        "sll  r9, r9, 2",
+    )
+    asm.label("jcol")
+    asm.ins(
+        "sll  r10, r7, 2",
+        "add  r11, r9, r10",
+        "add  r12, r11, r4",                    # &sol[i][j]
+        # lower-triangular update: uses sol written at (i-1,j) and (i,j-1)
+        f"lf   f1, {-row}(r12)",                # RAW with previous row's store
+        "lf   f2, -4(r12)",                     # RAW with previous col's store
+        "add  r13, r11, r1",
+        "lf   f3, 0(r13)",                      # coef_a (streamed)
+        "add  r14, r11, r2",
+        "lf   f4, 0(r14)",                      # coef_b
+        "fmul.d f5, f1, f3",
+        "fmul.d f6, f2, f4",
+        "fadd.d f5, f5, f6",
+        # second sub-step re-reads the same coefficients (RAR)
+        "lf   f7, 0(r13)",                      # coef_a again: RAR
+        "lf   f8, 0(r14)",                      # coef_b again: RAR
+        "add  r15, r11, r3",
+        "lf   f9, 0(r15)",                      # coef_c
+        "fadd.d f10, f7, f8",
+        "fmul.d f10, f10, f9",
+        "fadd.d f5, f5, f10",
+        "lf   f11, 0(r5)",                      # omega (read-only scalar)
+        "fmul.d f5, f5, f11",
+        "lf   f12, 0(r12)",                     # old solution value
+        "fsub.d f13, f5, f12",
+        "fli  f14, 0.1",
+        "fmul.d f13, f13, f14",
+        "fadd.d f15, f12, f13",
+        "sf   f15, 0(r12)",                     # in-place solution update
+        "addi r7, r7, 1",
+        f"li   r16, {_N - 1}",
+        "blt  r7, r16, jcol",
+        "addi r6, r6, 1",
+        "blt  r6, r16, irow",
+    )
+    asm.ins(
+        "la   r17, rsd",
+        "lf   f16, 0(r17)",
+        "fabs f17, f13",
+        "fadd.d f16, f16, f17",
+        "sf   f16, 0(r17)",
+        "addi r20, r20, -1",
+        "bgtz r20, sweep",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="apl",
+    spec_name="110.applu",
+    category="fp",
+    description="SSOR sweep; coefficient re-reads (RAR) + row-distance RAW",
+    builder=build,
+    sampling="1:1",
+)

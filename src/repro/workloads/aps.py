@@ -1,0 +1,87 @@
+"""``141.apsi`` stand-in: atmospheric model with many global scalars.
+
+The paper attributes the FP codes' RAR dominance to "a large number of
+variables with long lifetimes that are not register allocated" (Section
+5.2).  This kernel makes that idiom explicit: two dozen model parameters
+live in memory and are re-loaded by the physics routine at every column
+update (each such load RAR-depends on its own previous instance), while a
+handful of prognostic scalars are read-modify-written (RAW).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_LEVELS = 30
+_NUM_PARAMS = 12
+_BASE_STEPS = 250
+
+
+def build(scale: float = 1.0, input_seed: int = 0) -> str:
+    """``input_seed`` selects alternative model parameters and a column."""
+    steps = scaled(_BASE_STEPS, scale)
+    params = [0.01 * (1 + v % 90)
+              for v in lcg_sequence(0xA5 ^ input_seed, _NUM_PARAMS, 1 << 16)]
+    column = [280.0 + round(v / (1 << 22), 6)
+              for v in lcg_sequence(0xA6 ^ input_seed, _LEVELS, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.floats("column_t", column)
+    for i, value in enumerate(params):
+        asm.floats(f"param{i}", [round(value, 6)])
+    asm.floats("surface_flux", [0.0])
+    asm.floats("precip", [0.0])
+
+    asm.ins(f"li   r20, {steps}", "la   r1, column_t")
+    asm.label("step")
+    asm.ins("li   r2, 1")
+    asm.label("level")
+    asm.ins(
+        "sll  r3, r2, 2",
+        "add  r3, r3, r1",
+        "lf   f1, 0(r3)",                       # T[k]
+        "lf   f2, -4(r3)",                      # T[k-1] (RAW: updated below)
+    )
+    # The physics: every parameter re-loaded from memory at every level.
+    for i in range(_NUM_PARAMS):
+        asm.ins(f"la   r4, param{i}", "lf   f3, 0(r4)")
+        if i % 3 == 0:
+            asm.ins("fmul.d f1, f1, f3")
+        elif i % 3 == 1:
+            asm.ins("fadd.d f1, f1, f3")
+        else:
+            asm.ins("fmul.d f4, f2, f3", "fadd.d f1, f1, f4")
+    asm.ins(
+        "fli  f5, 0.999",
+        "fmul.d f1, f1, f5",
+        "sf   f1, 0(r3)",                       # in-place column update
+        # prognostic accumulators (RAW each level)
+        "la   r5, surface_flux",
+        "lf   f6, 0(r5)",
+        "fadd.d f6, f6, f1",
+        "sf   f6, 0(r5)",
+        "addi r2, r2, 1",
+        f"li   r6, {_LEVELS}",
+        "blt  r2, r6, level",
+        "la   r7, precip",
+        "lf   f7, 0(r7)",
+        "fli  f8, 0.01",
+        "fmul.d f9, f6, f8",
+        "fadd.d f7, f7, f9",
+        "sf   f7, 0(r7)",
+        "addi r20, r20, -1",
+        "bgtz r20, step",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="aps",
+    spec_name="141.apsi",
+    category="fp",
+    description="memory-resident model parameters re-loaded per level (RAR)",
+    builder=build,
+    sampling="N/A",
+)

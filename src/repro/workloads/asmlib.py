@@ -1,0 +1,97 @@
+"""Assembly source construction helpers shared by the workload kernels."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class AsmBuilder:
+    """Accumulates ``.data`` and ``.text`` sections and renders source.
+
+    Kernels are built programmatically (array sizes and iteration counts
+    depend on the workload scale), so string concatenation through this
+    builder keeps them readable while staying plain assembly underneath.
+    """
+
+    def __init__(self) -> None:
+        self._data: List[str] = []
+        self._text: List[str] = []
+
+    # -- data section -------------------------------------------------
+
+    def words(self, label: str, values: Iterable[int]) -> None:
+        """Emit ``label: .word v0, v1, ...`` (chunked for readability)."""
+        values = list(values)
+        if not values:
+            raise ValueError(f"words({label!r}) needs at least one value")
+        first, rest = values[:16], values[16:]
+        self._data.append(f"{label}: .word " + ", ".join(str(v) for v in first))
+        for i in range(0, len(rest), 16):
+            chunk = rest[i:i + 16]
+            self._data.append("    .word " + ", ".join(str(v) for v in chunk))
+
+    def floats(self, label: str, values: Iterable[float]) -> None:
+        """Emit ``label: .float v0, v1, ...``."""
+        values = list(values)
+        if not values:
+            raise ValueError(f"floats({label!r}) needs at least one value")
+        first, rest = values[:8], values[8:]
+        self._data.append(f"{label}: .float " + ", ".join(repr(v) for v in first))
+        for i in range(0, len(rest), 8):
+            chunk = rest[i:i + 8]
+            self._data.append("    .float " + ", ".join(repr(v) for v in chunk))
+
+    def space(self, label: str, nwords: int) -> None:
+        """Emit ``label: .space nwords`` (zero-initialized words)."""
+        self._data.append(f"{label}: .space {nwords}")
+
+    def word(self, label: str, value: int = 0) -> None:
+        """Emit a single labelled word."""
+        self._data.append(f"{label}: .word {value}")
+
+    # -- text section ---------------------------------------------------
+
+    def label(self, name: str) -> None:
+        self._text.append(f"{name}:")
+
+    def ins(self, *lines: str) -> None:
+        """Append instruction lines (each a full statement)."""
+        for line in lines:
+            self._text.append(f"    {line}")
+
+    def comment(self, text: str) -> None:
+        self._text.append(f"    # {text}")
+
+    def source(self) -> str:
+        parts = []
+        if self._data:
+            parts.append(".data")
+            parts.extend(self._data)
+            parts.append("")
+        parts.append(".text")
+        parts.extend(self._text)
+        return "\n".join(parts) + "\n"
+
+
+def linked_list_words(
+    node_order: Sequence[int], payloads: Sequence[int], base_label_addr_step: int = 8
+) -> List[int]:
+    """Lay out a singly linked list as ``[data, next] ...`` node pairs.
+
+    ``node_order[i]`` gives the slot index of the i-th list element, so a
+    shuffled order produces pointer chasing over non-contiguous memory, the
+    idiom of heap-allocated cons cells.  The returned flat word list is
+    relative: ``next`` fields hold the *slot index* of the successor times
+    ``base_label_addr_step`` and must be relocated by the kernel at startup,
+    or kernels can emit absolute addresses by adding the array base.
+    """
+    num_slots = len(node_order)
+    words = [0] * (2 * num_slots)
+    for position, slot in enumerate(node_order):
+        words[2 * slot] = payloads[position % len(payloads)]
+        if position + 1 < num_slots:
+            next_slot = node_order[position + 1]
+            words[2 * slot + 1] = next_slot * base_label_addr_step
+        else:
+            words[2 * slot + 1] = -1  # end-of-list marker (relocated to 0)
+    return words

@@ -1,0 +1,79 @@
+"""Workload definition and trace generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import Interpreter
+from repro.isa.program import Program
+from repro.trace.records import DynInst
+from repro.trace.sampling import SamplingPlan
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark of the suite.
+
+    ``builder`` returns assembly source for a given scale; ``scale=1.0`` is
+    the standard experiment size (a few hundred thousand dynamic
+    instructions), tests and micro-benchmarks use smaller scales.  The
+    ``sampling`` ratio string mirrors the paper's Table 5.1 "SR" column and
+    drives the timing experiments of Figures 9/10.
+    """
+
+    abbrev: str
+    spec_name: str
+    category: str  # "int" or "fp"
+    description: str
+    builder: Callable[[float], str]
+    sampling: str = "N/A"
+    _program_cache: Dict[float, Program] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.category not in ("int", "fp"):
+            raise ValueError(f"category must be 'int' or 'fp', got {self.category!r}")
+
+    def program(self, scale: float = 1.0) -> Program:
+        """Assemble (and cache) the kernel at the given scale."""
+        if scale not in self._program_cache:
+            source = self.builder(scale)
+            self._program_cache[scale] = assemble(source, name=self.abbrev)
+        return self._program_cache[scale]
+
+    def trace(
+        self, scale: float = 1.0, max_instructions: Optional[int] = None
+    ) -> Iterator[DynInst]:
+        """Stream the committed dynamic instruction trace."""
+        interp = Interpreter(self.program(scale), max_instructions=max_instructions)
+        return interp.run()
+
+    def sampling_plan(self) -> SamplingPlan:
+        """The timing:functional sampling plan for this program."""
+        return SamplingPlan.parse(self.sampling)
+
+    @property
+    def is_integer(self) -> bool:
+        return self.category == "int"
+
+
+def scaled(base: int, scale: float, minimum: int = 1) -> int:
+    """Scale an iteration count, never below ``minimum``."""
+    return max(minimum, int(round(base * scale)))
+
+
+def lcg_sequence(seed: int, count: int, modulus: int) -> Tuple[int, ...]:
+    """A deterministic pseudo-random sequence for data initialization.
+
+    Workload data layouts must be reproducible across runs and Python
+    versions, so kernels use this LCG instead of :mod:`random`.
+    """
+    state = seed & 0x7FFFFFFF
+    values = []
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        values.append(state % modulus)
+    return tuple(values)

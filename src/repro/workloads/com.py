@@ -1,0 +1,113 @@
+"""``129.compress`` stand-in: LZW-style hash-table compression.
+
+Compress is the most RAW-dominated SPECint program in the paper (Table 5.2
+shows 41% RAW vs 1% RAR): it writes hash-table entries and promptly reads
+them back while probing, and it keeps its coder state (prefix code, free
+code counter, checksums) in memory, loading and storing it every symbol,
+and it streams its input bytes from an in-memory buffer (like a file
+read into memory).
+The kernel mirrors exactly that structure and deliberately avoids
+data-sharing idioms.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_TABLE = 1024         # hash table entries (words)
+_INPUT = 2048         # input buffer (words, cycled)
+_BASE_SYMBOLS = 12500
+
+
+def build(scale: float = 1.0, input_seed: int = 0) -> str:
+    """``input_seed`` selects an alternative input byte stream."""
+    symbols = scaled(_BASE_SYMBOLS, scale)
+
+    input_bytes = [v % 256 for v in lcg_sequence(0xC0 ^ input_seed, _INPUT, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.space("htab", _TABLE)
+    asm.space("codetab", _TABLE)
+    asm.words("input_buf", input_bytes)
+    asm.word("prefix", 0)
+    asm.word("free_code", 256)
+    asm.word("checksum", 0)
+    asm.word("out_count", 0)
+
+    asm.ins(
+        f"li   r20, {symbols}",
+        "li   r21, 0",              # input buffer cursor
+        "la   r1, htab",
+        "la   r2, codetab",
+        "la   r22, input_buf",
+    )
+    asm.label("symbol")
+    asm.comment("next input byte from the in-memory buffer")
+    asm.ins(
+        "sll  r3, r21, 2",
+        "add  r3, r3, r22",
+        "lw   r4, 0(r3)",           # input symbol (streamed)
+        "addi r21, r21, 1",
+        f"slti r23, r21, {_INPUT}",
+        "bne  r23, r0, com_nowrap",
+        "li   r21, 0",
+    )
+    asm.label("com_nowrap")
+    asm.comment("load coder state (memory-resident: RAW every iteration)")
+    asm.ins(
+        "la   r5, prefix",
+        "lw   r6, 0(r5)",           # prefix code
+        "sll  r7, r6, 8",
+        "or   r7, r7, r4",          # fcode = prefix<<8 | symbol
+        f"li   r8, {_TABLE - 1}",
+        "and  r9, r7, r8",          # hash index
+        "sll  r9, r9, 2",
+        "add  r10, r9, r1",
+        "lw   r11, 0(r10)",         # probe htab (RAW with insertions)
+        "beq  r11, r7, hit",
+    )
+    asm.comment("miss: insert new code (store -> later probe loads = RAW)")
+    asm.ins(
+        "sw   r7, 0(r10)",
+        "la   r12, free_code",
+        "lw   r13, 0(r12)",
+        "addi r13, r13, 1",
+        "sw   r13, 0(r12)",
+        "add  r14, r9, r2",
+        "sw   r13, 0(r14)",         # codetab[h] = new code
+        "mov  r15, r4",             # restart prefix at symbol
+        "j    advance",
+    )
+    asm.label("hit")
+    asm.ins(
+        "add  r14, r9, r2",
+        "lw   r15, 0(r14)",         # matched code becomes the prefix
+        "la   r16, out_count",
+        "lw   r17, 0(r16)",
+        "addi r17, r17, 1",
+        "sw   r17, 0(r16)",
+    )
+    asm.label("advance")
+    asm.ins(
+        "la   r5, prefix",
+        "sw   r15, 0(r5)",          # store coder state back
+        "la   r18, checksum",
+        "lw   r19, 0(r18)",
+        "add  r19, r19, r4",
+        "sw   r19, 0(r18)",
+        "addi r20, r20, -1",
+        "bgtz r20, symbol",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="com",
+    spec_name="129.compress",
+    category="int",
+    description="LZW hash coder; write-then-probe RAW traffic, minimal sharing",
+    builder=build,
+    sampling="1:2",
+)

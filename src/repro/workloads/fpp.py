@@ -1,0 +1,89 @@
+"""``145.fpppp`` stand-in: enormous straight-line blocks of memory temporaries.
+
+Fpppp's two-electron integral code has basic blocks thousands of
+instructions long; the compiler keeps hundreds of temporaries in memory.
+A temporary is *stored* early in the block and *read several times* much
+later.  With a 128-entry DDT the store has been evicted before the first
+read (the RAW dependence is invisible — the paper's "distant store" case,
+Section 3.1), but the second and third reads RAR-depend on the first read
+at short distance, which is exactly the load population RAR-based cloaking
+rescues.  The paper singles fpppp out for this behaviour (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_TEMPS = 160          # distinct memory temporaries (> 128-entry DDT)
+_BASE_BLOCKS = 105
+
+
+def build(scale: float = 1.0) -> str:
+    blocks = scaled(_BASE_BLOCKS, scale)
+    inputs = [0.5 + round(v / (1 << 21), 6)
+              for v in lcg_sequence(0xF9, _TEMPS, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.floats("inputs", inputs)
+    asm.space("temps", _TEMPS)
+    asm.floats("integral", [0.0])
+
+    asm.ins(
+        f"li   r20, {blocks}",
+        "la   r1, inputs",
+        "la   r2, temps",
+        "la   r3, integral",
+    )
+    asm.label("block")
+    asm.comment("phase 1: compute and spill all temporaries")
+    asm.ins("li   r4, 0", f"li   r5, {_TEMPS}")
+    asm.label("spill")
+    asm.ins(
+        "sll  r6, r4, 2",
+        "add  r7, r6, r1",
+        "lf   f1, 0(r7)",                       # input element
+        "fmul.d f2, f1, f1",
+        "fli  f3, 1.0",
+        "fadd.d f2, f2, f3",
+        "add  r8, r6, r2",
+        "sf   f2, 0(r8)",                       # spill temp[i]
+        "addi r4, r4, 1",
+        "blt  r4, r5, spill",
+    )
+    asm.comment("phase 2: consume each temporary three times, far from its store")
+    asm.ins("li   r4, 0", "lf   f4, 0(r3)")
+    asm.label("consume")
+    asm.ins(
+        "sll  r6, r4, 2",
+        "add  r8, r6, r2",
+        "lf   f5, 0(r8)",                       # 1st read: RAW invisible (store evicted)
+        "fmul.d f6, f5, f5",
+        "lf   f7, 0(r8)",                       # 2nd read: RAR with 1st
+        "fli  f8, 0.5",
+        "fmul.d f9, f7, f8",
+        "fadd.d f6, f6, f9",
+        "lf   f10, 0(r8)",                      # 3rd read: RAR with 1st
+        "fsub.d f11, f10, f8",
+        "fmul.d f6, f6, f11",
+        "fadd.d f4, f4, f6",
+        "addi r4, r4, 1",
+        "blt  r4, r5, consume",
+    )
+    asm.ins(
+        "sf   f4, 0(r3)",
+        "addi r20, r20, -1",
+        "bgtz r20, block",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="fp*",
+    spec_name="145.fpppp",
+    category="fp",
+    description="distant-store temporaries; RAW invisible to the DDT, RAR visible",
+    builder=build,
+    sampling="1:2",
+)

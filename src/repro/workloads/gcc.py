@@ -1,0 +1,131 @@
+"""``126.gcc`` stand-in: multi-pass IR traversal.
+
+Compilers run many passes over the same in-memory IR.  Each expression
+node holds ``(op, left, right, value)``; a folding pass reads operand
+fields and writes ``value`` (RAW for downstream readers), then an emission
+pass re-reads the very same fields (RAR with the folding pass's loads when
+the node set fits the detection window, and RAW on ``value``).  Opcode
+dispatch branches heavily, like gcc's tree walks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_NODES = 24           # small function body: fits the 128-entry DDT window
+_FIELDS = 4           # op, left, right, value
+_BASE_FUNCTIONS = 550
+
+
+def build(scale: float = 1.0) -> str:
+    functions = scaled(_BASE_FUNCTIONS, scale)
+    raw = lcg_sequence(seed=0xCC, count=3 * _NODES, modulus=1 << 24)
+    node_words = []
+    for i in range(_NODES):
+        node_words.extend([
+            raw[3 * i] % 3,              # op: 0=const 1=add 2=mul
+            raw[3 * i + 1] % 100,        # left operand
+            raw[3 * i + 2] % 100,        # right operand
+            0,                           # value (filled by fold pass)
+        ])
+
+    asm = AsmBuilder()
+    asm.words("ir_nodes", node_words)
+    asm.word("emitted", 0)
+    asm.word("folded", 0)
+    # Compiler-wide settings: read-only globals consulted at every node.
+    asm.word("opt_level", 2)
+    asm.word("target_flags", 9)
+
+    asm.ins(f"li   r20, {functions}", "la   r1, ir_nodes")
+    asm.label("function")
+
+    asm.comment("pass 1: constant folding - read operands, write value")
+    asm.ins("li   r2, 0", f"li   r3, {_NODES}")
+    asm.label("fold")
+    asm.ins(
+        "sll  r4, r2, 4",           # node byte offset (4 words)
+        "add  r4, r4, r1",
+        "lw   r5, 0(r4)",           # op
+        "lw   r6, 4(r4)",           # left
+        "lw   r7, 8(r4)",           # right
+        "li   r8, 1",
+        "beq  r5, r0, f_const",
+        "beq  r5, r8, f_add",
+        "mul  r9, r6, r7",
+        "j    f_store",
+    )
+    asm.label("f_const")
+    asm.ins("mov  r9, r6", "j    f_store")
+    asm.label("f_add")
+    asm.ins("add  r9, r6, r7")
+    asm.label("f_store")
+    asm.ins(
+        "sw   r9, 12(r4)",          # write folded value (RAW source)
+        "la   r10, folded",
+        "lw   r11, 0(r10)",
+        "addi r11, r11, 1",
+        "sw   r11, 0(r10)",
+        "addi r2, r2, 1",
+        "blt  r2, r3, fold",
+    )
+
+    asm.comment("pass 2: emission - re-read op/operands (RAR) and value (RAW)")
+    asm.ins("li   r2, 0")
+    asm.label("emit")
+    asm.ins(
+        "sll  r4, r2, 4",
+        "add  r4, r4, r1",
+        "lw   r12, 0(r4)",          # op again: RAR with fold's load
+        "lw   r13, 12(r4)",         # folded value: RAW with fold's store
+        "li   r8, 2",
+        "bne  r12, r8, e_cheap",
+        "lw   r14, 4(r4)",          # mul needs operands again: RAR
+        "lw   r15, 8(r4)",
+        "add  r13, r13, r14",
+        "sub  r13, r13, r15",
+    )
+    asm.label("e_cheap")
+    asm.ins(
+        # every node consults the compiler-wide settings (self-RAR loads)
+        "la   r24, opt_level",
+        "lw   r25, 0(r24)",
+        "la   r26, target_flags",
+        "lw   r27, 0(r26)",
+        "add  r13, r13, r25",
+        "add  r13, r13, r27",
+        "la   r16, emitted",
+        "lw   r17, 0(r16)",
+        "add  r17, r17, r13",
+        "sw   r17, 0(r16)",
+        "addi r2, r2, 1",
+        "blt  r2, r3, emit",
+    )
+
+    asm.comment("mutate one node per function (fresh IR between compilations)")
+    asm.ins(
+        "la   r18, emitted",
+        "lw   r19, 0(r18)",
+        f"li   r21, {_NODES}",
+        "rem  r22, r19, r21",
+        "sll  r22, r22, 4",
+        "add  r22, r22, r1",
+        "andi r23, r19, 1",
+        "addi r23, r23, 1",
+        "sw   r23, 0(r22)",         # rewrite its op
+        "addi r20, r20, -1",
+        "bgtz r20, function",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="gcc",
+    spec_name="126.gcc",
+    category="int",
+    description="two compiler passes re-reading the same IR nodes",
+    builder=build,
+    sampling="N/A",
+)

@@ -1,0 +1,182 @@
+"""``099.go`` stand-in: board-position evaluation.
+
+Game-playing codes repeatedly evaluate the same board region from several
+analysis routines.  A precomputed move stream (the "game record", streamed
+from memory like real input data) picks board positions; two evaluation
+functions (``influence`` and ``liberties``) each read the chosen cell and
+its four neighbours, so every neighbourhood word is read by two static
+loads in close succession (RAR), while cell updates, the score and a
+move-history journal produce store→load (RAW) traffic.  Control flow
+branches on cell contents, mimicking go's data-dependent branching.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_SIZE = 19  # 19x19 board
+_MOVEBUF = 1024
+_BASE_MOVES = 8500
+
+
+def build(scale: float = 1.0, input_seed: int = 0) -> str:
+    """``input_seed`` selects an alternative input data set (board and
+    game record), like running a different SPEC input."""
+    moves = scaled(_BASE_MOVES, scale)
+    cells = _SIZE * _SIZE
+    board = [v % 3 for v in lcg_sequence(seed=0x60 ^ input_seed, count=cells, modulus=1 << 20)]
+
+    # Precompute the move stream (the game record / search order): each
+    # entry packs a cell byte offset with pseudo-random decision bits.
+    interior = []
+    raw = lcg_sequence(seed=0x61 ^ input_seed, count=2 * _MOVEBUF, modulus=1 << 24)
+    for i in range(_MOVEBUF):
+        row = 1 + raw[2 * i] % (_SIZE - 2)
+        col = 1 + raw[2 * i + 1] % (_SIZE - 2)
+        offset = (row * _SIZE + col) * 4
+        rand_bits = raw[2 * i] >> 8 & 0xFFFF
+        interior.append((rand_bits << 16) | offset)
+
+    asm = AsmBuilder()
+    asm.words("board", board)
+    asm.words("move_stream", interior)
+    asm.word("score", 0)
+    asm.word("captures", 0)
+    asm.space("history", 64)
+    asm.word("move_no", 0)
+
+    asm.ins(
+        f"li   r20, {moves}",
+        "la   r1, board",
+        "la   r5, move_stream",
+        "li   r6, 0",               # move-stream cursor
+    )
+    asm.label("move")
+    asm.comment("next move from the precomputed game record")
+    asm.ins(
+        "sll  r2, r6, 2",
+        "add  r2, r2, r5",
+        "lw   r3, 0(r2)",           # move entry (streamed)
+        "addi r6, r6, 1",
+        f"slti r4, r6, {_MOVEBUF}",
+        "bne  r4, r0, go_nowrap",
+        "li   r6, 0",
+    )
+    asm.label("go_nowrap")
+    asm.ins(
+        f"li   r7, {0xFFFF}",
+        "and  r9, r3, r7",          # cell byte offset
+        "add  r9, r9, r1",          # cell address
+        "srl  r21, r3, 16",         # decision bits
+    )
+    asm.comment("influence(): read cell + 4 neighbours")
+    asm.ins(
+        "lw   r10, 0(r9)",
+        f"lw   r11, {-4 * _SIZE}(r9)",
+        f"lw   r12, {4 * _SIZE}(r9)",
+        "lw   r13, -4(r9)",
+        "lw   r14, 4(r9)",
+        "add  r15, r10, r11",
+        "add  r15, r15, r12",
+        "add  r15, r15, r13",
+        "add  r15, r15, r14",
+    )
+    asm.comment("liberties(): re-read the same neighbourhood (RAR sinks)")
+    asm.ins(
+        "lw   r16, 0(r9)",
+        "li   r17, 0",
+        f"lw   r11, {-4 * _SIZE}(r9)",
+        "bne  r11, r0, go_l1",
+        "addi r17, r17, 1",
+    )
+    asm.label("go_l1")
+    asm.ins(
+        f"lw   r12, {4 * _SIZE}(r9)",
+        "bne  r12, r0, go_l2",
+        "addi r17, r17, 1",
+    )
+    asm.label("go_l2")
+    asm.ins(
+        "lw   r13, -4(r9)",
+        "bne  r13, r0, go_l3",
+        "addi r17, r17, 1",
+    )
+    asm.label("go_l3")
+    asm.ins(
+        "lw   r14, 4(r9)",
+        "bne  r14, r0, go_l4",
+        "addi r17, r17, 1",
+    )
+    asm.label("go_l4")
+    asm.comment("update running score in memory (RAW)")
+    asm.ins(
+        "la   r18, score",
+        "lw   r19, 0(r18)",
+        "mul  r15, r15, r17",
+        "add  r19, r19, r15",
+        "sw   r19, 0(r18)",
+    )
+    asm.comment("update the cell: evaluations write back status (RAW source)")
+    asm.ins(
+        "andi r22, r21, 1",
+        "addi r22, r22, 1",
+        "bne  r16, r0, flip_cell",
+        "blez r17, flip_cell",
+        "sw   r22, 0(r9)",          # place a stone
+        "j    placed",
+    )
+    asm.label("flip_cell")
+    asm.ins(
+        "add  r26, r16, r22",
+        "li   r27, 3",
+        "rem  r26, r26, r27",
+        "sw   r26, 0(r9)",          # rotate cell status (RAW for future readers)
+    )
+    asm.label("placed")
+    asm.comment("move history journal: push this move, ko-check the last two")
+    asm.ins(
+        "la   r28, move_no",
+        "lw   r29, 0(r28)",          # RAW (per-move counter)
+        "la   r26, history",
+        "andi r27, r29, 63",
+        "sll  r27, r27, 2",
+        "add  r27, r27, r26",
+        "sw   r9, 0(r27)",           # journal write
+        "addi r30, r29, 63",
+        "andi r30, r30, 63",
+        "sll  r30, r30, 2",
+        "add  r30, r30, r26",
+        "lw   r30, 0(r30)",          # previous move (RAW with last iteration)
+        "beq  r30, r9, ko_skip",
+        "addi r29, r29, 1",
+        "sw   r29, 0(r28)",
+    )
+    asm.label("ko_skip")
+    asm.comment("occasionally capture: clear a neighbour")
+    asm.ins(
+        "andi r23, r21, 63",
+        "bne  r23, r0, no_capture",
+        "sw   r0, 4(r9)",
+        "la   r24, captures",
+        "lw   r25, 0(r24)",
+        "addi r25, r25, 1",
+        "sw   r25, 0(r24)",
+    )
+    asm.label("no_capture")
+    asm.ins(
+        "addi r20, r20, -1",
+        "bgtz r20, move",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="go",
+    spec_name="099.go",
+    category="int",
+    description="board evaluation; two analyses re-read each neighbourhood",
+    builder=build,
+    sampling="N/A",
+)

@@ -1,0 +1,89 @@
+"""``104.hydro2d`` stand-in: in-place relaxation on a near-flat field.
+
+Hydro2d is one of the few programs where last-value prediction beats
+cloaking in the paper (Table 5.2: 49.9% VP-only).  The kernel reproduces
+why: the field relaxes toward a flat solution, so the same static load
+returns the same value execution after execution (high value locality),
+while the in-place update (``A[i][j]`` written, then read as the left/up
+neighbour of later points) creates genuine RAW traffic that keeps the
+dependence mix balanced.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_N = 20
+_BASE_STEPS = 60
+
+
+def build(scale: float = 1.0) -> str:
+    steps = scaled(_BASE_STEPS, scale)
+    cells = _N * _N
+    # Mostly-flat initial field: large constant plateau with a few bumps.
+    noise = lcg_sequence(0x4D, cells, 1 << 20)
+    field = [2.0 if v % 17 else 2.0 + (v % 5) * 0.25 for v in noise]
+
+    asm = AsmBuilder()
+    asm.floats("grid", field)
+    asm.floats("quarter", [0.25])
+    asm.floats("residual", [0.0])
+
+    row = 4 * _N
+    asm.ins(
+        f"li   r20, {steps}",
+        "la   r1, grid",
+        "la   r2, quarter",
+    )
+    asm.label("step")
+    asm.ins("li   r3, 1")
+    asm.label("irow")
+    asm.ins(
+        "li   r4, 1",
+        f"li   r5, {_N}",
+        "mul  r6, r3, r5",
+        "sll  r6, r6, 2",
+    )
+    asm.label("jcol")
+    asm.ins(
+        "sll  r7, r4, 2",
+        "add  r8, r6, r7",
+        "add  r8, r8, r1",                      # &A[i][j]
+        "lf   f1, -4(r8)",                      # left (RAW: written at j-1)
+        "lf   f2, 4(r8)",                       # right
+        f"lf   f3, {-row}(r8)",                 # up (RAW: written in row i-1)
+        f"lf   f4, {row}(r8)",                  # down
+        "lf   f5, 0(r2)",                       # 0.25 (read-only scalar: RAR)
+        "fadd.d f6, f1, f2",
+        "fadd.d f7, f3, f4",
+        "fadd.d f6, f6, f7",
+        "fmul.d f6, f6, f5",
+        "lf   f8, 0(r8)",                       # old centre (value-stable)
+        "sf   f6, 0(r8)",                       # in-place update (RAW source)
+        "fsub.d f9, f6, f8",
+        "la   r9, residual",
+        "lf   f10, 0(r9)",
+        "fabs f11, f9",
+        "fadd.d f10, f10, f11",
+        "sf   f10, 0(r9)",
+        "addi r4, r4, 1",
+        f"li   r10, {_N - 1}",
+        "blt  r4, r10, jcol",
+        "addi r3, r3, 1",
+        "blt  r3, r10, irow",
+        "addi r20, r20, -1",
+        "bgtz r20, step",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="hyd",
+    spec_name="104.hydro2d",
+    category="fp",
+    description="in-place relaxation; flat field gives VP-friendly value locality",
+    builder=build,
+    sampling="1:10",
+)

@@ -1,0 +1,119 @@
+"""``132.ijpeg`` stand-in: block image transform.
+
+Image compression streams pixels through register-held butterflies: each
+input pixel is loaded once, transformed entirely in registers, and the
+output stored to a different buffer — little memory-level reuse.  Only the
+small quantization table is re-read per block (RAR).  This gives ijpeg the
+lowest cloaking coverage of the integer suite, matching the paper
+(13.9% combined in Table 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_DIM = 32             # image is _DIM x _DIM, processed in 4x4 blocks
+_BASE_FRAMES = 70
+
+
+def build(scale: float = 1.0) -> str:
+    frames = scaled(_BASE_FRAMES, scale)
+    pixels = [v % 256 for v in lcg_sequence(seed=0x1B, count=_DIM * _DIM,
+                                            modulus=1 << 20)]
+    quant = [1 + (v % 15) for v in lcg_sequence(seed=0x1C, count=16, modulus=1 << 8)]
+
+    asm = AsmBuilder()
+    asm.words("image", pixels)
+    asm.space("output", _DIM * _DIM)
+    asm.words("quant", quant)
+    asm.word("bits_used", 0)
+
+    blocks_per_side = _DIM // 4
+    asm.ins(
+        f"li   r20, {frames}",
+        "la   r1, image",
+        "la   r2, output",
+        "la   r3, quant",
+    )
+    asm.label("frame")
+    asm.ins("li   r4, 0")                    # block row
+    asm.label("brow")
+    asm.ins("li   r5, 0")                    # block col
+    asm.label("bcol")
+    asm.comment("load one 4x4 block row-pair, transform in registers")
+    asm.ins(
+        "sll  r6, r4, 2",                    # pixel row = brow*4
+        f"li   r7, {_DIM}",
+        "mul  r8, r6, r7",
+        "sll  r9, r5, 2",
+        "add  r8, r8, r9",                   # pixel index
+        "sll  r8, r8, 2",
+        "add  r10, r8, r1",                  # block base in image
+        "add  r11, r8, r2",                  # block base in output
+    )
+    for row in range(4):
+        offs = row * _DIM * 4
+        asm.ins(
+            f"lw   r12, {offs}(r10)",
+            f"lw   r13, {offs + 4}(r10)",
+            f"lw   r14, {offs + 8}(r10)",
+            f"lw   r15, {offs + 12}(r10)",
+            # butterfly (registers only)
+            "add  r16, r12, r15",
+            "sub  r17, r12, r15",
+            "add  r18, r13, r14",
+            "sub  r19, r13, r14",
+            "add  r22, r16, r18",
+            "sub  r23, r16, r18",
+            # quantize: divide by table entries (table re-read: RAR)
+            f"lw   r24, {row * 16}(r3)",
+            f"lw   r25, {row * 16 + 4}(r3)",
+            "div  r22, r22, r24",
+            "div  r23, r23, r25",
+            f"sw   r22, {offs}(r11)",
+            f"sw   r23, {offs + 4}(r11)",
+            f"sw   r17, {offs + 8}(r11)",
+            f"sw   r19, {offs + 12}(r11)",
+        )
+    asm.comment("entropy stage: read back the block's coefficients (RAW)")
+    asm.ins("li   r29, 0", "li   r30, 0")
+    asm.label("entropy")
+    asm.ins(
+        f"li   r7, {_DIM}",
+        "mul  r27, r29, r7",
+        "sll  r27, r27, 2",
+        "add  r27, r27, r11",
+        "lw   r24, 0(r27)",                  # coefficient just stored (RAW)
+        "lw   r25, 4(r27)",
+        "add  r30, r30, r24",
+        "add  r30, r30, r25",
+        "addi r29, r29, 1",
+        "li   r7, 4",
+        "blt  r29, r7, entropy",
+    )
+    asm.ins(
+        "la   r26, bits_used",
+        "lw   r27, 0(r26)",
+        "add  r27, r27, r30",
+        "sw   r27, 0(r26)",
+        "addi r5, r5, 1",
+        f"li   r28, {blocks_per_side}",
+        "blt  r5, r28, bcol",
+        "addi r4, r4, 1",
+        "blt  r4, r28, brow",
+        "addi r20, r20, -1",
+        "bgtz r20, frame",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="ijp",
+    spec_name="132.ijpeg",
+    category="int",
+    description="block transform; register-resident butterflies, table RAR only",
+    builder=build,
+    sampling="N/A",
+)

@@ -1,0 +1,126 @@
+"""``130.li`` stand-in: a linked-list interpreter.
+
+This is the paper's own motivating example (Figure 3): every node of a
+heap-allocated list is visited by *two* functions per traversal — ``foo``
+accumulates ``l->data`` into a total, ``bar`` compares ``l->data`` against a
+key — so each node's data word is read twice in short succession by two
+distinct static loads.  That pair of loads is the canonical RAR dependence.
+A memory-resident accumulator and an occasional node update provide the
+RAW (store→load) traffic typical of lisp interpreters.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder, linked_list_words
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_NODES = 48
+_BASE_TRAVERSALS = 650
+
+
+def build(scale: float = 1.0, input_seed: int = 0) -> str:
+    """``input_seed`` selects an alternative list layout and payloads."""
+    traversals = scaled(_BASE_TRAVERSALS, scale)
+    order = list(lcg_sequence(seed=0x11 ^ input_seed, count=_NODES, modulus=1 << 30))
+    # Derive a permutation: sort slot indices by random keys.
+    slots = sorted(range(_NODES), key=lambda i: order[i])
+    payloads = [v % 257 for v in lcg_sequence(seed=0x22 ^ input_seed, count=_NODES, modulus=1 << 16)]
+    node_words = linked_list_words(slots, payloads)
+
+    asm = AsmBuilder()
+    asm.words("nodes", node_words)
+    asm.word("head", slots[0] * 8)  # relative; relocated at startup
+    asm.word("total", 0)
+    asm.word("key", payloads[len(payloads) // 2])
+    asm.word("hits", 0)
+
+    asm.comment("relocate next pointers from slot offsets to absolute addresses")
+    asm.ins(
+        "la   r1, nodes",
+        "li   r2, 0",
+        f"li   r3, {_NODES}",
+    )
+    asm.label("reloc")
+    asm.ins(
+        "sll  r4, r2, 3",        # node byte offset
+        "add  r4, r4, r1",
+        "lw   r5, 4(r4)",        # next (relative)
+        "bltz r5, endmark",
+        "add  r5, r5, r1",
+        "sw   r5, 4(r4)",
+        "j    relocnext",
+    )
+    asm.label("endmark")
+    asm.ins("sw   r0, 4(r4)")
+    asm.label("relocnext")
+    asm.ins(
+        "addi r2, r2, 1",
+        "blt  r2, r3, reloc",
+        "la   r10, head",
+        "lw   r11, 0(r10)",
+        "add  r11, r11, r1",
+        "sw   r11, 0(r10)",
+    )
+
+    asm.comment("outer traversal loop")
+    asm.ins(f"li   r20, {traversals}", "li   r22, 0")
+    asm.label("outer")
+    asm.ins(
+        "la   r10, head",
+        "lw   r1, 0(r10)",       # head pointer (read-only global: RAR)
+    )
+    asm.label("visit")
+    asm.ins("beq  r1, r0, done_list")
+    asm.comment("foo(l): total += l->data")
+    asm.ins(
+        "lw   r2, 0(r1)",        # load data  -- RAR source
+        "la   r3, total",
+        "lw   r4, 0(r3)",        # RAW with the store below
+        "add  r4, r4, r2",
+        "sw   r4, 0(r3)",
+    )
+    asm.comment("bar(l): if (l->data == key) hits++")
+    asm.ins(
+        "lw   r5, 0(r1)",        # load data again -- RAR sink
+        "la   r6, key",
+        "lw   r7, 0(r6)",        # read-only global: self-RAR
+        "bne  r5, r7, no_hit",
+        "la   r8, hits",
+        "lw   r9, 0(r8)",
+        "addi r9, r9, 1",
+        "sw   r9, 0(r8)",
+    )
+    asm.label("no_hit")
+    asm.ins(
+        "lw   r1, 4(r1)",        # l = l->next (pointer chase)
+        "j    visit",
+    )
+    asm.label("done_list")
+    asm.comment("every 8th traversal, mutate one node (RAW for later readers)")
+    asm.ins(
+        "addi r22, r22, 1",
+        "andi r23, r22, 7",
+        "bne  r23, r0, no_mut",
+        "la   r10, head",
+        "lw   r24, 0(r10)",
+        "lw   r25, 0(r24)",
+        "addi r25, r25, 3",
+        "sw   r25, 0(r24)",
+    )
+    asm.label("no_mut")
+    asm.ins(
+        "addi r20, r20, -1",
+        "bgtz r20, outer",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="li",
+    spec_name="130.li",
+    category="int",
+    description="linked-list interpreter; two readers per node (Figure 3 idiom)",
+    builder=build,
+    sampling="N/A",
+)

@@ -1,0 +1,126 @@
+"""``124.m88ksim`` stand-in: an instruction-set simulator.
+
+The simulated "guest" machine keeps its register file and program in
+memory.  Every simulated instruction fetch re-reads the same guest code
+words pass after pass (RAR on the code array), guest register reads follow
+recent guest register writes (RAW through the memory-resident register
+file), and reads of the same guest register by consecutive guest
+instructions form RAR pairs.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_GUEST_REGS = 16
+_GUEST_PROG = 40  # guest instructions per pass
+_BASE_PASSES = 330
+
+
+def build(scale: float = 1.0) -> str:
+    passes = scaled(_BASE_PASSES, scale)
+    # Guest instruction encoding: op*4096 + rd*256 + rs*16 + rt
+    raw = lcg_sequence(seed=0x88, count=3 * _GUEST_PROG, modulus=1 << 24)
+    guest_code = []
+    for i in range(_GUEST_PROG):
+        op = raw[3 * i] % 4          # 0=add 1=sub 2=mul 3=mov
+        rd = 1 + raw[3 * i + 1] % (_GUEST_REGS - 1)
+        rs = raw[3 * i + 1] % _GUEST_REGS
+        rt = raw[3 * i + 2] % _GUEST_REGS
+        guest_code.append(op * 4096 + rd * 256 + rs * 16 + rt)
+    regfile_init = [v % 1000 for v in lcg_sequence(seed=0x89, count=_GUEST_REGS,
+                                                   modulus=1 << 16)]
+
+    asm = AsmBuilder()
+    asm.words("guest_code", guest_code)
+    asm.words("guest_regs", regfile_init)
+    asm.word("cycle_count", 0)
+    asm.word("guest_mode", 3)  # read-only machine state consulted per instr
+    asm.word("guest_psw", 0)
+
+    asm.ins(
+        f"li   r20, {passes}",
+        "la   r1, guest_code",
+        "la   r2, guest_regs",
+    )
+    asm.label("pass_top")
+    asm.ins("li   r3, 0")            # guest pc (word index)
+    asm.label("fetch")
+    asm.ins(
+        "sll  r4, r3, 2",
+        "add  r4, r4, r1",
+        "lw   r5, 0(r4)",            # instruction fetch (RAR across passes)
+        "srl  r6, r5, 12",
+        "andi r6, r6, 15",           # op
+        "srl  r7, r5, 8",
+        "andi r7, r7, 15",           # rd
+        "srl  r8, r5, 4",
+        "andi r8, r8, 15",           # rs
+        "andi r9, r5, 15",           # rt
+    )
+    asm.comment("read guest source registers from the memory register file")
+    asm.ins(
+        "sll  r10, r8, 2",
+        "add  r10, r10, r2",
+        "lw   r11, 0(r10)",          # guest rs read
+        "sll  r12, r9, 2",
+        "add  r12, r12, r2",
+        "lw   r13, 0(r12)",          # guest rt read
+    )
+    asm.comment("execute")
+    asm.ins(
+        "li   r14, 1",
+        "beq  r6, r0, g_add",
+        "beq  r6, r14, g_sub",
+        "li   r14, 2",
+        "beq  r6, r14, g_mul",
+        "mov  r15, r11",             # mov
+        "j    writeback",
+    )
+    asm.label("g_add")
+    asm.ins("add  r15, r11, r13", "j    writeback")
+    asm.label("g_sub")
+    asm.ins("sub  r15, r11, r13", "j    writeback")
+    asm.label("g_mul")
+    asm.ins("mul  r15, r11, r13")
+    asm.label("writeback")
+    asm.ins(
+        # privilege check reads the (read-only) machine mode: self-RAR
+        "la   r21, guest_mode",
+        "lw   r22, 0(r21)",
+        "add  r15, r15, r22",
+        "sub  r15, r15, r22",
+        "sll  r16, r7, 2",
+        "add  r16, r16, r2",
+        "sw   r15, 0(r16)",          # guest rd write (RAW source)
+        # condition codes live in memory: read-modify-write every instr
+        "la   r23, guest_psw",
+        "lw   r24, 0(r23)",
+        "xor  r24, r24, r15",
+        "sw   r24, 0(r23)",
+    )
+    asm.comment("statistics update (memory-resident counter: RAW)")
+    asm.ins(
+        "la   r17, cycle_count",
+        "lw   r18, 0(r17)",
+        "addi r18, r18, 1",
+        "sw   r18, 0(r17)",
+        "addi r3, r3, 1",
+        f"li   r19, {_GUEST_PROG}",
+        "blt  r3, r19, fetch",
+        "addi r20, r20, -1",
+        "bgtz r20, pass_top",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="m88",
+    spec_name="124.m88ksim",
+    category="int",
+    description="ISA simulator; memory-resident guest register file and code",
+    builder=build,
+    sampling="1:1",
+)

@@ -1,0 +1,101 @@
+"""``107.mgrid`` stand-in: 3D multigrid smoothing stencil.
+
+Mgrid is the most read-dominated program in the suite (Table 5.1: 46.6%
+loads, 3.0% stores).  The kernel applies a 7-point 3D stencil reading
+seven field elements per output point and writing one element of a
+separate output array.  Every interior element is read by seven different
+static loads as the sweep passes by, producing pervasive short-distance
+RAR dependences and almost no RAW traffic.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_N = 10               # field is _N^3
+_BASE_SWEEPS = 26
+
+
+def build(scale: float = 1.0, n: int = _N) -> str:
+    """Build at field size ``n`` (``n >= 21`` exceeds the 32K L1 data
+    cache, for cache-pressure studies)."""
+    sweeps = scaled(_BASE_SWEEPS, scale)
+    cells = n * n * n
+    field = [1.0 + round(v / (1 << 21), 6)
+             for v in lcg_sequence(0x3D, cells, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.floats("u_field", field)
+    asm.space("r_field", cells)
+    asm.floats("c0", [-0.25])
+    asm.floats("c1", [0.125])
+
+    plane = 4 * n * n
+    row = 4 * n
+    asm.ins(
+        f"li   r20, {sweeps}",
+        "la   r1, u_field",
+        "la   r2, r_field",
+        "la   r3, c0",
+        "la   r4, c1",
+    )
+    asm.label("sweep")
+    asm.ins("li   r5, 1")                       # k (plane)
+    asm.label("kplane")
+    asm.ins("li   r6, 1")                       # i (row)
+    asm.label("irow")
+    asm.ins(
+        "li   r7, 1",                           # j (col)
+        f"li   r8, {n}",
+        "mul  r9, r5, r8",
+        "add  r9, r9, r6",
+        "mul  r9, r9, r8",
+        "sll  r9, r9, 2",                       # (k*N + i)*N words
+    )
+    asm.label("jcol")
+    asm.ins(
+        "sll  r10, r7, 2",
+        "add  r11, r9, r10",
+        "add  r12, r11, r1",                    # &U[k][i][j]
+        "lf   f1, 0(r12)",                      # centre
+        "lf   f2, -4(r12)",                     # j-1
+        "lf   f3, 4(r12)",                      # j+1
+        f"lf   f4, {-row}(r12)",                # i-1
+        f"lf   f5, {row}(r12)",                 # i+1
+        f"lf   f6, {-plane}(r12)",              # k-1
+        f"lf   f7, {plane}(r12)",               # k+1
+        "lf   f8, 0(r3)",                       # c0 (read-only scalar)
+        "lf   f9, 0(r4)",                       # c1
+        "fadd.d f10, f2, f3",
+        "fadd.d f11, f4, f5",
+        "fadd.d f12, f6, f7",
+        "fadd.d f10, f10, f11",
+        "fadd.d f10, f10, f12",
+        "fmul.d f10, f10, f9",
+        "fmul.d f13, f1, f8",
+        "fadd.d f10, f10, f13",
+        "add  r13, r11, r2",
+        "sf   f10, 0(r13)",                     # single store per point
+        "addi r7, r7, 1",
+        f"li   r14, {n - 1}",
+        "blt  r7, r14, jcol",
+        "addi r6, r6, 1",
+        "blt  r6, r14, irow",
+        "addi r5, r5, 1",
+        "blt  r5, r14, kplane",
+        "addi r20, r20, -1",
+        "bgtz r20, sweep",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="mgd",
+    spec_name="107.mgrid",
+    category="fp",
+    description="3D 7-point stencil; seven readers per element, one store",
+    builder=build,
+    sampling="N/A",
+)

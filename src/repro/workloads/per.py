@@ -1,0 +1,156 @@
+"""``134.perl`` stand-in: a stack bytecode interpreter.
+
+Script interpreters keep an operand stack and a variable table in memory.
+Pushes store what pops soon load (RAW at stack-discipline distances), the
+bytecode array is re-fetched on every pass over the script (RAR on code
+words), and variable reads hit slots written by earlier assignments (RAW)
+or re-read by later expressions (RAR).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_VARS = 16
+_CODE = 48           # bytecodes per script pass
+_BASE_PASSES = 330
+
+
+def build(scale: float = 1.0) -> str:
+    passes = scaled(_BASE_PASSES, scale)
+    raw = lcg_sequence(seed=0x9E, count=2 * _CODE, modulus=1 << 24)
+    # op: 0=push-const 1=load-var 2=store-var 3=add 4=mul (binary ops pop 2)
+    code = []
+    depth = 0
+    for i in range(_CODE):
+        if depth < 2:
+            op = 0 if raw[2 * i] % 2 == 0 else 1
+        else:
+            op = raw[2 * i] % 5
+        if op in (0, 1):
+            depth += 1
+        elif op == 2:
+            depth -= 1
+        else:
+            depth -= 1
+        operand = raw[2 * i + 1] % _VARS if op in (1, 2) else raw[2 * i + 1] % 100
+        code.append(op * 256 + operand)
+    # Terminate with stores to drain the stack.
+    while depth > 0:
+        code.append(2 * 256 + (depth % _VARS))
+        depth -= 1
+
+    asm = AsmBuilder()
+    asm.words("bytecode", code)
+    asm.words("variables", [v % 50 for v in lcg_sequence(0x9F, _VARS, 1 << 16)])
+    asm.space("stack", 64)
+    asm.word("executed_ops", 0)
+
+    asm.ins(
+        f"li   r20, {passes}",
+        "la   r1, bytecode",
+        "la   r2, variables",
+        "la   r3, stack",
+        f"li   r26, {len(code)}",
+    )
+    asm.label("pass_top")
+    asm.ins("li   r4, 0", "li   r5, 0")   # r4 = vpc, r5 = stack depth
+    asm.label("dispatch")
+    asm.ins(
+        "sll  r6, r4, 2",
+        "add  r6, r6, r1",
+        "lw   r7, 0(r6)",            # fetch bytecode (RAR across passes)
+        "srl  r8, r7, 8",            # op
+        "andi r9, r7, 255",          # operand
+        "li   r10, 1",
+        "beq  r8, r0, op_push",
+        "beq  r8, r10, op_loadv",
+        "li   r10, 2",
+        "beq  r8, r10, op_storev",
+        "li   r10, 3",
+        "beq  r8, r10, op_add",
+        "j    op_mul",
+    )
+    asm.label("op_push")
+    asm.ins(
+        "sll  r11, r5, 2",
+        "add  r11, r11, r3",
+        "sw   r9, 0(r11)",           # push constant
+        "addi r5, r5, 1",
+        "j    next",
+    )
+    asm.label("op_loadv")
+    asm.ins(
+        "sll  r12, r9, 2",
+        "add  r12, r12, r2",
+        "lw   r13, 0(r12)",          # variable read (RAW/RAR with var traffic)
+        "sll  r11, r5, 2",
+        "add  r11, r11, r3",
+        "sw   r13, 0(r11)",          # push
+        "addi r5, r5, 1",
+        "j    next",
+    )
+    asm.label("op_storev")
+    asm.ins(
+        "addi r5, r5, -1",
+        "sll  r11, r5, 2",
+        "add  r11, r11, r3",
+        "lw   r13, 0(r11)",          # pop (RAW with push store)
+        "sll  r12, r9, 2",
+        "add  r12, r12, r2",
+        "sw   r13, 0(r12)",          # variable write
+        "j    next",
+    )
+    asm.label("op_add")
+    asm.ins(
+        "addi r5, r5, -1",
+        "sll  r11, r5, 2",
+        "add  r11, r11, r3",
+        "lw   r13, 0(r11)",          # pop rhs
+        "addi r5, r5, -1",
+        "sll  r11, r5, 2",
+        "add  r11, r11, r3",
+        "lw   r14, 0(r11)",          # pop lhs
+        "add  r14, r14, r13",
+        "sw   r14, 0(r11)",          # push result
+        "addi r5, r5, 1",
+        "j    next",
+    )
+    asm.label("op_mul")
+    asm.ins(
+        "addi r5, r5, -1",
+        "sll  r11, r5, 2",
+        "add  r11, r11, r3",
+        "lw   r13, 0(r11)",
+        "addi r5, r5, -1",
+        "sll  r11, r5, 2",
+        "add  r11, r11, r3",
+        "lw   r14, 0(r11)",
+        "mul  r14, r14, r13",
+        "sw   r14, 0(r11)",
+        "addi r5, r5, 1",
+    )
+    asm.label("next")
+    asm.ins(
+        "la   r15, executed_ops",
+        "lw   r16, 0(r15)",
+        "addi r16, r16, 1",
+        "sw   r16, 0(r15)",
+        "addi r4, r4, 1",
+        "blt  r4, r26, dispatch",
+        "addi r20, r20, -1",
+        "bgtz r20, pass_top",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="per",
+    spec_name="134.perl",
+    category="int",
+    description="stack bytecode interpreter; push/pop RAW, code refetch RAR",
+    builder=build,
+    sampling="1:1",
+)

@@ -1,0 +1,126 @@
+"""``103.su2cor`` stand-in: matrix-vector kernels over a reused vector.
+
+Su2cor's propagator computation multiplies gauge matrices against vectors.
+The source vector is re-read for every matrix row: each element of ``V``
+is read once per row by the same static load, so successive executions of
+that load revisit the same small address set (RAR at a distance of one row,
+well within the detection window).  Matrix elements stream through once
+(no dependence), and the result vector is written then read back by the
+next multiply (long-distance RAW).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_DIM = 24
+_BASE_MULTIPLIES = 90
+
+
+def build(scale: float = 1.0) -> str:
+    multiplies = scaled(_BASE_MULTIPLIES, scale)
+
+    def vals(seed: int, count: int):
+        return [0.5 + round(v / (1 << 21), 6)
+                for v in lcg_sequence(seed, count, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.floats("matrix", vals(0x30, _DIM * _DIM))
+    asm.floats("vec_in", vals(0x31, _DIM))
+    asm.space("vec_out", _DIM)
+    asm.floats("norm", [0.0])
+    # f2c keeps loop scalars in memory: re-loaded every inner iteration.
+    asm.floats("scale", [0.997])
+    asm.floats("rowacc", [0.0])
+
+    asm.ins(
+        f"li   r20, {multiplies}",
+        "la   r1, matrix",
+        "la   r2, vec_in",
+        "la   r3, vec_out",
+    )
+    asm.label("multiply")
+    asm.ins("li   r4, 0")                       # row
+    asm.label("row")
+    asm.ins(
+        f"li   r5, {_DIM}",
+        "mul  r6, r4, r5",
+        "sll  r6, r6, 2",
+        "add  r6, r6, r1",                      # row base
+        "li   r7, 0",                           # col
+        "fli  f1, 0.0",                         # accumulator
+    )
+    asm.label("col")
+    asm.ins(
+        "sll  r8, r7, 2",
+        "add  r9, r8, r6",
+        "lf   f2, 0(r9)",                       # matrix element (streamed)
+        "add  r10, r8, r2",
+        "lf   f3, 0(r10)",                      # vector element (RAR per row)
+        "la   r17, scale",
+        "lf   f11, 0(r17)",                     # memory-resident scalar (self-RAR)
+        "fmul.d f4, f2, f3",
+        "fmul.d f4, f4, f11",
+        "fadd.d f1, f1, f4",
+        "addi r7, r7, 1",
+        "blt  r7, r5, col",
+    )
+    asm.ins(
+        "sll  r11, r4, 2",
+        "add  r11, r11, r3",
+        "sf   f1, 0(r11)",                      # result element
+        # memory-resident row accumulator (store->load RAW chain)
+        "la   r18, rowacc",
+        "lf   f12, 0(r18)",
+        "fadd.d f12, f12, f1",
+        "sf   f12, 0(r18)",
+        "addi r4, r4, 1",
+        "blt  r4, r5, row",
+    )
+    asm.comment("norm of the output; feeds back into vec_in (RAW)")
+    asm.ins(
+        "li   r4, 0",
+        "la   r12, norm",
+        "lf   f5, 0(r12)",
+    )
+    asm.label("normloop")
+    asm.ins(
+        "sll  r13, r4, 2",
+        "add  r14, r13, r3",
+        "lf   f6, 0(r14)",                      # RAW with the multiply's store
+        "fabs f7, f6",
+        "fadd.d f5, f5, f7",
+        # nudge a single vec_in element per multiply so values stay live
+        # without turning the vector's re-reads into RAW dependences
+        "rem  r16, r20, r5",
+        "bne  r4, r16, no_nudge",
+        "add  r15, r13, r2",
+        "fli  f8, 0.001",
+        "fmul.d f9, f6, f8",
+        "lf   f10, 0(r15)",
+        "fadd.d f10, f10, f9",
+        "sf   f10, 0(r15)",
+    )
+    asm.label("no_nudge")
+    asm.ins(
+        "addi r4, r4, 1",
+        "blt  r4, r5, normloop",
+    )
+    asm.ins(
+        "sf   f5, 0(r12)",
+        "addi r20, r20, -1",
+        "bgtz r20, multiply",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="su2",
+    spec_name="103.su2cor",
+    category="fp",
+    description="matrix-vector products; source vector re-read every row",
+    builder=build,
+    sampling="1:3",
+)

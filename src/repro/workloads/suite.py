@@ -1,0 +1,59 @@
+"""The workload registry, ordered as in the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads import (
+    apl, aps, com, fpp, gcc, go, hyd, ijp, li, m88, mgd, per, su2, swm, tom,
+    trb, vor, wav,
+)
+from repro.workloads.base import Workload
+
+# Paper order: SPECint'95 block first, then SPECfp'95 (Table 5.1).
+_ORDERED = [
+    go.WORKLOAD,
+    m88.WORKLOAD,
+    gcc.WORKLOAD,
+    com.WORKLOAD,
+    li.WORKLOAD,
+    ijp.WORKLOAD,
+    per.WORKLOAD,
+    vor.WORKLOAD,
+    tom.WORKLOAD,
+    swm.WORKLOAD,
+    su2.WORKLOAD,
+    hyd.WORKLOAD,
+    mgd.WORKLOAD,
+    apl.WORKLOAD,
+    trb.WORKLOAD,
+    aps.WORKLOAD,
+    fpp.WORKLOAD,
+    wav.WORKLOAD,
+]
+
+_BY_ABBREV: Dict[str, Workload] = {w.abbrev: w for w in _ORDERED}
+
+
+def all_workloads() -> List[Workload]:
+    """Every workload, integer codes first (paper table order)."""
+    return list(_ORDERED)
+
+
+def integer_workloads() -> List[Workload]:
+    """The eight SPECint'95-like workloads."""
+    return [w for w in _ORDERED if w.category == "int"]
+
+
+def fp_workloads() -> List[Workload]:
+    """The ten SPECfp'95-like workloads."""
+    return [w for w in _ORDERED if w.category == "fp"]
+
+
+def get_workload(abbrev: str) -> Workload:
+    """Look a workload up by its paper abbreviation (e.g. ``"li"``)."""
+    try:
+        return _BY_ABBREV[abbrev]
+    except KeyError:
+        known = ", ".join(sorted(_BY_ABBREV))
+        raise KeyError(f"unknown workload {abbrev!r}; known: {known}") from None

@@ -1,0 +1,130 @@
+"""``102.swim`` stand-in: shallow-water stencils.
+
+Swim computes several flux arrays from the same pressure/velocity fields:
+``CU``, ``CV``, ``Z`` and ``H`` all read overlapping windows of ``P``,
+``U`` and ``V``.  A single ``P[i][j]`` element is therefore read by many
+static loads within one inner iteration — the strongest RAR pattern in the
+FP suite — while the computed flux arrays are write-only in the kernel.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_N = 18
+_BASE_SWEEPS = 33
+
+
+def build(scale: float = 1.0, n: int = _N) -> str:
+    """Build at grid size ``n`` (``n > 40`` exceeds the 32K L1 data cache,
+    for cache-pressure studies)."""
+    sweeps = scaled(_BASE_SWEEPS, scale)
+    cells = n * n
+
+    def grid(seed: int):
+        return [1.0 + round(v / (1 << 22), 6)
+                for v in lcg_sequence(seed, cells, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.floats("field_p", grid(0x50))
+    asm.floats("field_u", grid(0x51))
+    asm.floats("field_v", grid(0x52))
+    asm.space("flux_cu", cells)
+    asm.space("flux_cv", cells)
+    asm.space("flux_z", cells)
+    asm.space("flux_h", cells)
+    asm.floats("fsdx", [4.0 / 100.0])
+    asm.floats("fsdy", [4.0 / 100.0])
+
+    row = 4 * n
+    asm.ins(
+        f"li   r20, {sweeps}",
+        "la   r1, field_p",
+        "la   r2, field_u",
+        "la   r3, field_v",
+        "la   r4, flux_cu",
+        "la   r5, flux_cv",
+        "la   r6, flux_z",
+        "la   r7, flux_h",
+    )
+    asm.label("sweep")
+    asm.ins("li   r8, 1")
+    asm.label("irow")
+    asm.ins(
+        "li   r9, 1",
+        f"li   r10, {n}",
+        "mul  r11, r8, r10",
+        "sll  r11, r11, 2",
+    )
+    asm.label("jcol")
+    asm.ins(
+        "sll  r12, r9, 2",
+        "add  r13, r11, r12",                  # element byte offset
+        "add  r14, r13, r1",                   # &P[i][j]
+        "add  r15, r13, r2",                   # &U[i][j]
+        "add  r16, r13, r3",                   # &V[i][j]
+        # CU = .5*(P[i][j] + P[i][j+1]) * U[i][j]
+        "lf   f1, 0(r14)",
+        "lf   f2, 4(r14)",
+        "lf   f3, 0(r15)",
+        "fadd.d f4, f1, f2",
+        "fmul.d f4, f4, f3",
+        "add  r17, r13, r4",
+        "sf   f4, 0(r17)",
+        # CV = .5*(P[i][j] + P[i+1][j]) * V[i][j]  (re-reads P[i][j]: RAR)
+        "lf   f5, 0(r14)",
+        f"lf   f6, {row}(r14)",
+        "lf   f7, 0(r16)",
+        "fadd.d f8, f5, f6",
+        "fmul.d f8, f8, f7",
+        "add  r17, r13, r5",
+        "sf   f8, 0(r17)",
+        # Z = (fsdx*(V[i][j+1]-V[i][j]) - fsdy*(U[i+1][j]-U[i][j])) / P[i][j]
+        "lf   f9, 4(r16)",
+        "lf   f10, 0(r16)",                    # RAR with CV's V load
+        f"lf   f11, {row}(r15)",
+        "lf   f12, 0(r15)",                    # RAR with CU's U load
+        "la   r18, fsdx",
+        "lf   f13, 0(r18)",
+        "la   r18, fsdy",
+        "lf   f14, 0(r18)",
+        "fsub.d f15, f9, f10",
+        "fmul.d f15, f15, f13",
+        "fsub.d f16, f11, f12",
+        "fmul.d f16, f16, f14",
+        "fsub.d f15, f15, f16",
+        "lf   f17, 0(r14)",                    # P again: RAR
+        "fdiv.d f15, f15, f17",
+        "add  r17, r13, r6",
+        "sf   f15, 0(r17)",
+        # H = P[i][j] + .25*(U[i][j]^2 + V[i][j]^2)
+        "lf   f18, 0(r14)",                    # P again: RAR
+        "lf   f19, 0(r15)",                    # U again: RAR
+        "lf   f20, 0(r16)",                    # V again: RAR
+        "fmul.d f21, f19, f19",
+        "fmul.d f22, f20, f20",
+        "fadd.d f21, f21, f22",
+        "fadd.d f21, f21, f18",
+        "add  r17, r13, r7",
+        "sf   f21, 0(r17)",
+        "addi r9, r9, 1",
+        f"li   r19, {n - 1}",
+        "blt  r9, r19, jcol",
+        "addi r8, r8, 1",
+        "blt  r8, r19, irow",
+        "addi r20, r20, -1",
+        "bgtz r20, sweep",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="swm",
+    spec_name="102.swim",
+    category="fp",
+    description="four flux arrays re-read the same P/U/V windows (heavy RAR)",
+    builder=build,
+    sampling="1:2",
+)

@@ -1,0 +1,116 @@
+"""``101.tomcatv`` stand-in: 2D mesh-generation stencil.
+
+Tomcatv sweeps coordinate arrays with 5-point stencils.  Adjacent output
+points re-read each other's neighbours: ``X[i][j+1]`` loaded as the right
+neighbour at column ``j`` is loaded again as the centre at column ``j+1``
+and as the left neighbour at ``j+2`` — three static loads covering one
+address within a few dozen instructions.  That is the dominant RAR idiom
+of the Fortran codes.  Residual arrays are written but rarely re-read, so
+RAW traffic stays low, and Fortran-style memory-resident scalars (the
+relaxation factor) are re-loaded every point.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_N = 20               # mesh is _N x _N
+_BASE_SWEEPS = 39
+
+
+def build(scale: float = 1.0, input_seed: int = 0) -> str:
+    """``input_seed`` selects an alternative initial mesh."""
+    sweeps = scaled(_BASE_SWEEPS, scale)
+    cells = _N * _N
+    xs = [round(v / (1 << 20), 6) for v in lcg_sequence(0x70 ^ input_seed, cells, 1 << 20)]
+    ys = [round(v / (1 << 20), 6) for v in lcg_sequence(0x71 ^ input_seed, cells, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.floats("mesh_x", xs)
+    asm.floats("mesh_y", ys)
+    asm.space("res_x", cells)
+    asm.space("res_y", cells)
+    asm.floats("relax", [0.3])
+    asm.floats("errsum", [0.0])
+
+    row_bytes = 4 * _N
+    asm.ins(
+        f"li   r20, {sweeps}",
+        "la   r1, mesh_x",
+        "la   r2, mesh_y",
+        "la   r3, res_x",
+        "la   r4, res_y",
+    )
+    asm.label("sweep")
+    asm.ins("li   r5, 1")                       # i (row)
+    asm.label("irow")
+    asm.ins(
+        "li   r6, 1",                           # j (col)
+        f"li   r7, {_N}",
+        "mul  r8, r5, r7",
+        "sll  r8, r8, 2",                       # row byte offset
+    )
+    asm.label("jcol")
+    asm.ins(
+        "sll  r9, r6, 2",
+        "add  r10, r8, r9",                     # element byte offset
+        "add  r11, r10, r1",                    # &X[i][j]
+        "add  r12, r10, r2",                    # &Y[i][j]
+        # X stencil: centre, left, right, up, down
+        "lf   f1, 0(r11)",
+        "lf   f2, -4(r11)",
+        "lf   f3, 4(r11)",
+        f"lf   f4, {-row_bytes}(r11)",
+        f"lf   f5, {row_bytes}(r11)",
+        "fadd.d f6, f2, f3",
+        "fadd.d f7, f4, f5",
+        "fadd.d f6, f6, f7",
+        "la   r13, relax",
+        "lf   f8, 0(r13)",                      # memory-resident scalar (RAR)
+        "fmul.d f6, f6, f8",
+        "fsub.d f9, f6, f1",
+        # Y stencil: same pattern on the Y array
+        "lf   f10, 0(r12)",
+        "lf   f11, -4(r12)",
+        "lf   f12, 4(r12)",
+        f"lf   f13, {-row_bytes}(r12)",
+        f"lf   f14, {row_bytes}(r12)",
+        "fadd.d f15, f11, f12",
+        "fadd.d f16, f13, f14",
+        "fadd.d f15, f15, f16",
+        "fmul.d f15, f15, f8",
+        "fsub.d f17, f15, f10",
+        # residuals to separate arrays (writes, little reuse)
+        "add  r14, r10, r3",
+        "add  r15, r10, r4",
+        "sf   f9, 0(r14)",
+        "sf   f17, 0(r15)",
+        "addi r6, r6, 1",
+        f"li   r16, {_N - 1}",
+        "blt  r6, r16, jcol",
+        "addi r5, r5, 1",
+        "blt  r5, r16, irow",
+    )
+    asm.comment("accumulate the error norm (memory-resident accumulator)")
+    asm.ins(
+        "la   r17, errsum",
+        "lf   f18, 0(r17)",
+        "fabs f19, f9",
+        "fadd.d f18, f18, f19",
+        "sf   f18, 0(r17)",
+        "addi r20, r20, -1",
+        "bgtz r20, sweep",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="tom",
+    spec_name="101.tomcatv",
+    category="fp",
+    description="5-point mesh stencils; neighbour re-reads dominate (RAR)",
+    builder=build,
+    sampling="1:2",
+)

@@ -1,0 +1,114 @@
+"""``125.turb3d`` stand-in: FFT butterfly passes with a twiddle table.
+
+Turbulence codes spend their time in FFTs.  Every butterfly stage re-reads
+the small twiddle-factor table (RAR: the same table words are read by the
+same loads stage after stage) and updates the signal array in place
+(store→load RAW between stages at butterfly-span distances).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_LOG2N = 6            # 64-point transforms
+_N = 1 << _LOG2N
+_BASE_TRANSFORMS = 80
+
+
+def build(scale: float = 1.0) -> str:
+    transforms = scaled(_BASE_TRANSFORMS, scale)
+    signal = [round(math.sin(0.37 * i) + v / (1 << 22), 6)
+              for i, v in enumerate(lcg_sequence(0x7B, _N, 1 << 20))]
+    twiddle = [round(math.cos(math.pi * i / _N), 6) for i in range(_N // 2)]
+
+    twiddle_sin = [round(math.sin(math.pi * i / _N), 6) for i in range(_N // 2)]
+
+    asm = AsmBuilder()
+    asm.floats("signal_re", signal)
+    asm.floats("twiddle_cos", twiddle)
+    asm.floats("twiddle_sin", twiddle_sin)
+    asm.floats("energy", [0.0])
+
+    asm.ins(
+        f"li   r20, {transforms}",
+        "la   r1, signal_re",
+        "la   r2, twiddle_cos",
+        "la   r16, twiddle_sin",
+    )
+    asm.label("transform")
+    asm.ins("li   r3, 1")                       # span = 1, 2, 4, ... N/2
+    asm.label("stage")
+    asm.ins("li   r4, 0")                       # group start
+    asm.label("group")
+    asm.ins("li   r5, 0")                       # offset within group
+    asm.label("butterfly")
+    asm.ins(
+        "add  r6, r4, r5",                      # top index
+        "add  r7, r6, r3",                      # bottom index
+        "sll  r8, r6, 2",
+        "add  r8, r8, r1",
+        "sll  r9, r7, 2",
+        "add  r9, r9, r1",
+        "lf   f1, 0(r8)",                       # top (RAW with prior stage)
+        "lf   f2, 0(r9)",                       # bottom
+        # twiddle index = offset * (N/2 / span)
+        f"li   r10, {_N // 2}",
+        "div  r11, r10, r3",
+        "mul  r11, r11, r5",
+        "sll  r11, r11, 2",
+        "add  r17, r11, r16",
+        "add  r11, r11, r2",
+        "lf   f3, 0(r11)",                      # cos twiddle (RAR)
+        "lf   f12, 0(r17)",                     # sin twiddle (RAR)
+        "fmul.d f4, f2, f3",
+        "fmul.d f13, f2, f12",
+        "fadd.d f4, f4, f13",
+        "fadd.d f5, f1, f4",
+        # the bottom leg re-reads both twiddles (RAR with the loads above)
+        "lf   f14, 0(r11)",
+        "lf   f15, 0(r17)",
+        "fmul.d f16, f2, f14",
+        "fmul.d f17, f2, f15",
+        "fadd.d f16, f16, f17",
+        "fsub.d f6, f1, f16",
+        "sf   f5, 0(r8)",                       # in-place update
+        "sf   f6, 0(r9)",
+        "addi r5, r5, 1",
+        "blt  r5, r3, butterfly",
+        "sll  r12, r3, 1",
+        "add  r4, r4, r12",
+        f"li   r13, {_N}",
+        "blt  r4, r13, group",
+        "sll  r3, r3, 1",
+        f"li   r14, {_N // 2}",
+        "blt  r3, r13, stage",
+    )
+    asm.comment("energy check re-reads a sample of the signal")
+    asm.ins(
+        "la   r15, energy",
+        "lf   f7, 0(r15)",
+        "lf   f8, 0(r1)",
+        "lf   f9, 4(r1)",
+        "fmul.d f10, f8, f8",
+        "fmul.d f11, f9, f9",
+        "fadd.d f10, f10, f11",
+        "fadd.d f7, f7, f10",
+        "sf   f7, 0(r15)",
+        "addi r20, r20, -1",
+        "bgtz r20, transform",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="trb",
+    spec_name="125.turb3d",
+    category="fp",
+    description="FFT butterflies; twiddle table re-read every stage (RAR)",
+    builder=build,
+    sampling="1:10",
+)

@@ -1,0 +1,144 @@
+"""``147.vortex`` stand-in: an object database.
+
+Vortex manipulates persistent object records through layers of accessor
+routines.  Each transaction looks an object up through an index (pointer
+load), has several "methods" validate and summarize it — re-reading the
+same fields (RAR) — and commits an update to a subset of fields (RAW for
+the next transaction touching the object).  A hot subset of objects gives
+the dependence working set the temporal locality the paper measures.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_OBJECTS = 64
+_TXNBUF = 1024
+_FIELDS = 8
+_BASE_TRANSACTIONS = 12000
+
+
+def build(scale: float = 1.0) -> str:
+    transactions = scaled(_BASE_TRANSACTIONS, scale)
+    fields = lcg_sequence(seed=0x40, count=_OBJECTS * _FIELDS, modulus=1 << 16)
+
+    asm = AsmBuilder()
+    asm.words("objects", [v % 5000 for v in fields])
+    # Index maps logical ids to slot numbers (shuffled, like a B-tree leaf).
+    keys = lcg_sequence(seed=0x41, count=_OBJECTS, modulus=1 << 30)
+    index = sorted(range(_OBJECTS), key=lambda i: keys[i])
+    asm.words("obj_index", [slot * _FIELDS * 4 for slot in index])
+    asm.word("commit_count", 0)
+    asm.word("total_value", 0)
+    asm.space("journal", 32)
+
+    # Precompute the transaction request stream: 75% of requests hit a hot
+    # set of 8 objects, the rest are uniform (a typical OLTP skew).
+    picks = []
+    raw = lcg_sequence(seed=0x42, count=_TXNBUF, modulus=1 << 24)
+    for v in raw:
+        if v & 3:
+            picks.append(v >> 2 & 7)             # hot set: ids 0..7
+        else:
+            picks.append((v >> 3) % _OBJECTS)
+
+    asm.words("txn_stream", picks)
+
+    asm.ins(
+        f"li   r20, {transactions}",
+        "la   r21, txn_stream",
+        "li   r31, 0",               # request-stream cursor
+        "la   r1, objects",
+        "la   r2, obj_index",
+    )
+    asm.label("txn")
+    asm.comment("next request from the in-memory transaction stream")
+    asm.ins(
+        "sll  r3, r31, 2",
+        "add  r3, r3, r21",
+        "lw   r6, 0(r3)",            # object id (streamed)
+        "addi r31, r31, 1",
+        f"slti r4, r31, {_TXNBUF}",
+        "bne  r4, r0, lookup",
+        "li   r31, 0",
+    )
+    asm.label("lookup")
+    asm.ins(
+        "sll  r8, r6, 2",
+        "add  r8, r8, r2",
+        "lw   r9, 0(r8)",            # index entry (RAR: index is read-only)
+        "add  r9, r9, r1",           # object base address
+    )
+    asm.comment("method 1: validate() reads fields 0,1,2")
+    asm.ins(
+        "lw   r10, 0(r9)",
+        "lw   r11, 4(r9)",
+        "lw   r12, 8(r9)",
+        "add  r13, r10, r11",
+        "add  r13, r13, r12",
+    )
+    asm.comment("method 2: summarize() re-reads fields 0,1 and reads 3,4 (RAR)")
+    asm.ins(
+        "lw   r14, 0(r9)",           # RAR with validate's load
+        "lw   r15, 4(r9)",           # RAR
+        "lw   r16, 12(r9)",
+        "lw   r17, 16(r9)",
+        "add  r18, r14, r15",
+        "add  r18, r18, r16",
+        "add  r18, r18, r17",
+        "la   r19, total_value",
+        "lw   r22, 0(r19)",
+        "add  r22, r22, r18",
+        "sw   r22, 0(r19)",
+    )
+    asm.comment("commit: version bump always; fields 2 and 5 when checksum odd")
+    asm.ins(
+        "lw   r27, 0(r9)",           # version field 0 (RAW with last commit)
+        "addi r27, r27, 1",
+        "sw   r27, 0(r9)",
+        "andi r23, r13, 1",
+        "beq  r23, r0, no_commit",
+        "addi r12, r12, 1",
+        "sw   r12, 8(r9)",
+        "lw   r24, 20(r9)",
+        "add  r24, r24, r18",
+        "sw   r24, 20(r9)",
+        "la   r25, commit_count",
+        "lw   r26, 0(r25)",
+        "addi r26, r26, 1",
+        "sw   r26, 0(r25)",
+    )
+    asm.label("no_commit")
+    asm.comment("write-ahead journal: log this txn, re-read the previous entry")
+    asm.ins(
+        "la   r28, commit_count",
+        "lw   r29, 0(r28)",          # RAW
+        "la   r30, journal",
+        "andi r23, r29, 31",
+        "sll  r23, r23, 2",
+        "add  r23, r23, r30",
+        "sw   r18, 0(r23)",          # journal append
+        "addi r24, r29, 31",
+        "andi r24, r24, 31",
+        "sll  r24, r24, 2",
+        "add  r24, r24, r30",
+        "lw   r24, 0(r24)",          # previous journal entry (RAW)
+        "add  r22, r22, r24",
+    )
+    asm.ins(
+        "addi r20, r20, -1",
+        "bgtz r20, txn",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="vor",
+    spec_name="147.vortex",
+    category="int",
+    description="object database; accessor methods re-read hot object fields",
+    builder=build,
+    sampling="N/A",
+)

@@ -1,0 +1,100 @@
+"""``146.wave5`` stand-in: particle-in-cell field interpolation.
+
+Wave5 pushes particles through electromagnetic fields on a grid.
+Particles are processed in cell order, so consecutive particles
+interpolate from the *same* grid cells — the grid loads of particle ``p``
+RAR-depend on those of particle ``p-1`` — while each particle's position
+and velocity are read-modify-written (RAW at one-timestep distance, too
+far for the DDT, plus short-distance RAW inside the update).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asmlib import AsmBuilder
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+_GRID = 64
+_PARTICLES = 96
+_BASE_STEPS = 140
+
+
+def build(scale: float = 1.0, input_seed: int = 0) -> str:
+    """``input_seed`` selects an alternative field and particle placement."""
+    steps = scaled(_BASE_STEPS, scale)
+    field = [round(0.1 + v / (1 << 22), 6)
+             for v in lcg_sequence(0xE5 ^ input_seed, _GRID, 1 << 20)]
+    # Positions clustered so consecutive particles share cells.
+    raw = lcg_sequence(0xE6 ^ input_seed, _PARTICLES, 1 << 20)
+    positions = sorted(float(v % (_GRID * 100)) / 100.0 for v in raw)
+    velocities = [round((v % 100) / 1000.0 - 0.05, 6)
+                  for v in lcg_sequence(0xE7, _PARTICLES, 1 << 20)]
+
+    asm = AsmBuilder()
+    asm.floats("efield", field)
+    asm.floats("pos", [round(p, 6) for p in positions])
+    asm.floats("vel", velocities)
+    asm.floats("kinetic", [0.0])
+    # Fortran common-block physics constants, re-read per particle.
+    asm.floats("dt_step", [0.01])
+    asm.floats("charge_mass", [0.85])
+
+    asm.ins(
+        f"li   r20, {steps}",
+        "la   r1, efield",
+        "la   r2, pos",
+        "la   r3, vel",
+    )
+    asm.label("step")
+    asm.ins("li   r4, 0", f"li   r5, {_PARTICLES}")
+    asm.label("particle")
+    asm.ins(
+        "sll  r6, r4, 2",
+        "add  r7, r6, r2",
+        "add  r8, r6, r3",
+        "lf   f1, 0(r7)",                       # position
+        "ftoi r9, f1",                          # cell index
+        f"li   r10, {_GRID - 2}",
+        "rem  r9, r9, r10",
+        "sll  r11, r9, 2",
+        "add  r11, r11, r1",
+        "lf   f2, 0(r11)",                      # field[cell]   (shared: RAR)
+        "lf   f3, 4(r11)",                      # field[cell+1] (shared: RAR)
+        "itof f4, r9",
+        "fsub.d f5, f1, f4",                    # fractional offset
+        "fsub.d f6, f3, f2",
+        "fmul.d f6, f6, f5",
+        "fadd.d f7, f2, f6",                    # interpolated field
+        "lf   f8, 0(r8)",                       # velocity
+        "la   r13, dt_step",
+        "lf   f9, 0(r13)",                      # dt (self-RAR, always correct)
+        "la   r14, charge_mass",
+        "lf   f14, 0(r14)",                     # q/m (self-RAR)
+        "fmul.d f9, f9, f14",
+        "fmul.d f10, f7, f9",
+        "fadd.d f8, f8, f10",
+        "sf   f8, 0(r8)",                       # velocity update (RAW source)
+        "fadd.d f11, f1, f8",
+        "fabs f11, f11",
+        "sf   f11, 0(r7)",                      # position update
+        "la   r12, kinetic",
+        "lf   f12, 0(r12)",
+        "fmul.d f13, f8, f8",
+        "fadd.d f12, f12, f13",
+        "sf   f12, 0(r12)",                     # accumulator (RAW)
+        "addi r4, r4, 1",
+        "blt  r4, r5, particle",
+        "addi r20, r20, -1",
+        "bgtz r20, step",
+        "halt",
+    )
+    return asm.source()
+
+
+WORKLOAD = Workload(
+    abbrev="wav",
+    spec_name="146.wave5",
+    category="fp",
+    description="particle push; neighbouring particles re-read field cells",
+    builder=build,
+    sampling="1:2",
+)

@@ -1,0 +1,41 @@
+"""Shared fixtures: tiny traces and assembled programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Interpreter, assemble
+from repro.workloads import all_workloads, get_workload
+
+TINY_SCALE = 0.01
+
+
+@pytest.fixture(scope="session")
+def li_trace():
+    """A materialized tiny trace of the ``li`` workload (paper Figure 3)."""
+    return list(get_workload("li").trace(scale=TINY_SCALE))
+
+
+@pytest.fixture(scope="session")
+def com_trace():
+    """A materialized tiny trace of the RAW-dominated ``com`` workload."""
+    return list(get_workload("com").trace(scale=TINY_SCALE))
+
+
+@pytest.fixture(scope="session")
+def swm_trace():
+    """A materialized tiny trace of the RAR-dominated ``swm`` workload."""
+    return list(get_workload("swm").trace(scale=TINY_SCALE))
+
+
+@pytest.fixture(scope="session")
+def tiny_traces(li_trace, com_trace, swm_trace):
+    return {"li": li_trace, "com": com_trace, "swm": swm_trace}
+
+
+def run_program(source: str, max_instructions: int | None = None):
+    """Assemble and execute; returns (interpreter, trace list)."""
+    program = assemble(source, name="test")
+    interp = Interpreter(program, max_instructions=max_instructions)
+    trace = list(interp.run())
+    return interp, trace

@@ -1,0 +1,154 @@
+"""Unit tests for the cloaking-integrated processor (Figure 8, Section 5.6)."""
+
+import pytest
+
+from repro.core import CloakingConfig, CloakingMode
+from repro.dependence.ddt import DDTConfig
+from repro.isa.instructions import OpClass
+from repro.pipeline import CloakedProcessor, Processor, ProcessorConfig, RecoveryPolicy
+from repro.trace.records import DynInst
+
+
+def infinite_cloaking(mode=CloakingMode.RAW_RAR):
+    return CloakingConfig(mode=mode, ddt=DDTConfig(size=None),
+                          dpnt_entries=None, sf_entries=None)
+
+
+def covered_raw_chain(rounds=400):
+    """A loop-carried memory recurrence: ST X -> LD X -> compute -> ST X.
+
+    The load's value arrives through store forwarding; cloaking/bypassing
+    links it straight to the producing computation, shortening the
+    recurrence — exactly the paper's communication-streamlining claim.
+    """
+    trace = []
+    index = 0
+    for i in range(rounds):
+        # load the accumulator (RAW with the previous round's store)
+        trace.append(DynInst(index, 0x1000, OpClass.LOAD, rd=1, srcs=(9,),
+                             addr=0x2000, value=i)); index += 1
+        # a short dependent computation
+        trace.append(DynInst(index, 0x1004, OpClass.IALU, rd=2, srcs=(1,)))
+        index += 1
+        trace.append(DynInst(index, 0x1008, OpClass.IALU, rd=2, srcs=(2,)))
+        index += 1
+        # store back
+        trace.append(DynInst(index, 0x100C, OpClass.STORE, srcs=(9, 2),
+                             addr=0x2000, value=i + 1)); index += 1
+    return trace
+
+
+def misspeculating_stream(rounds=400):
+    """A striding self-RAR load whose value always changes: with a 1-bit
+    predictor every execution misspeculates."""
+    trace = []
+    for i in range(rounds):
+        trace.append(DynInst(2 * i, 0x1000, OpClass.LOAD, rd=1, srcs=(9,),
+                             addr=0x2000, value=i))
+        trace.append(DynInst(2 * i + 1, 0x1004, OpClass.IALU, rd=2, srcs=(1,)))
+    return trace
+
+
+class TestSpeedup:
+    def test_raw_chain_speeds_up(self):
+        trace = covered_raw_chain()
+        base = Processor().run(iter(trace))
+        cloaked = CloakedProcessor(cloaking=infinite_cloaking())
+        result = cloaked.run(iter(trace))
+        assert cloaked.speculations_used > 300
+        assert cloaked.misspeculations == 0
+        assert result.speedup_over(base) > 1.0
+
+    def test_raw_mode_does_not_speculate_rar_streams(self):
+        trace = []
+        for i in range(200):
+            trace.append(DynInst(2 * i, 0x1000, OpClass.LOAD, rd=1,
+                                 addr=0x2000, value=7))
+            trace.append(DynInst(2 * i + 1, 0x1004, OpClass.LOAD, rd=2,
+                                 addr=0x2000, value=7))
+        cloaked = CloakedProcessor(cloaking=infinite_cloaking(CloakingMode.RAW))
+        cloaked.run(iter(trace))
+        assert cloaked.speculations_used == 0
+
+    def test_consumer_never_sees_value_before_dispatch(self):
+        """The speculative value cannot be consumed before decode+1."""
+        seen = []
+
+        class Probe(CloakedProcessor):
+            def _load_value_time(self, inst, dispatch, value_time):
+                effective = super()._load_value_time(inst, dispatch, value_time)
+                seen.append((dispatch, effective))
+                return effective
+
+        probe = Probe(cloaking=infinite_cloaking())
+        probe.run(iter(covered_raw_chain(100)))
+        assert all(effective >= dispatch + 1 for dispatch, effective in seen)
+
+
+class TestRecoveryPolicies:
+    @staticmethod
+    def _run(recovery, confidence_one_bit=True, rounds=400):
+        from repro.predictors.confidence import ConfidenceKind
+        config = CloakingConfig(
+            mode=CloakingMode.RAW_RAR, ddt=DDTConfig(size=None),
+            dpnt_entries=None, sf_entries=None,
+            confidence=(ConfidenceKind.ONE_BIT if confidence_one_bit
+                        else ConfidenceKind.TWO_BIT))
+        processor = CloakedProcessor(cloaking=config, recovery=recovery)
+        result = processor.run(iter(misspeculating_stream(rounds)))
+        return processor, result
+
+    def test_squash_costs_more_than_selective(self):
+        _, selective = self._run(RecoveryPolicy.SELECTIVE)
+        _, squash = self._run(RecoveryPolicy.SQUASH)
+        assert squash.cycles > selective.cycles
+
+    def test_oracle_never_uses_wrong_values(self):
+        processor, oracle = self._run(RecoveryPolicy.ORACLE)
+        assert processor.misspeculations == 0
+        base = Processor().run(iter(misspeculating_stream(400)))
+        assert oracle.cycles <= base.cycles * 1.01
+
+    def test_selective_penalty_is_bounded(self):
+        """Selective recovery on a pure-misspeculation stream costs little
+        more than the base machine (the paper: close to an oracle)."""
+        _, selective = self._run(RecoveryPolicy.SELECTIVE)
+        base = Processor().run(iter(misspeculating_stream(400)))
+        assert selective.cycles <= base.cycles * 1.25
+
+    def test_adaptive_confidence_limits_misspeculations(self):
+        one_bit, _ = self._run(RecoveryPolicy.SELECTIVE, confidence_one_bit=True)
+        two_bit, _ = self._run(RecoveryPolicy.SELECTIVE, confidence_one_bit=False)
+        assert two_bit.misspeculations < one_bit.misspeculations / 10
+
+
+class TestWorkloadIntegration:
+    def test_li_runs_cloaked(self, li_trace):
+        base = Processor().run(iter(li_trace))
+        cloaked = CloakedProcessor(cloaking=CloakingConfig.paper_timing())
+        result = cloaked.run(iter(li_trace))
+        assert result.timing_instructions == base.timing_instructions
+        # li's critical path is the pointer chase; cloaking must at least
+        # not slow it down materially.
+        assert result.speedup_over(base) > 0.98
+
+    def test_com_gains_from_cloaking(self, com_trace):
+        base = Processor().run(iter(com_trace))
+        cloaked = CloakedProcessor(cloaking=CloakingConfig.paper_timing())
+        result = cloaked.run(iter(com_trace))
+        assert cloaked.engine.stats.coverage > 0.3
+
+    def test_describe(self):
+        cloaked = CloakedProcessor(cloaking=infinite_cloaking())
+        text = cloaked.describe()
+        assert "RAW+RAR" in text and "selective" in text
+
+    def test_finalize_attaches_cloaking_stats(self, com_trace):
+        cloaked = CloakedProcessor(cloaking=CloakingConfig.paper_timing())
+        result = cloaked.run(iter(com_trace), name="com")
+        assert result.extra["cloaking_mode"] == "RAW+RAR"
+        assert result.extra["recovery"] == "selective"
+        assert 0.0 <= result.extra["coverage"] <= 1.0
+        assert result.extra["coverage"] == pytest.approx(
+            result.extra["coverage_raw"] + result.extra["coverage_rar"])
+        assert result.extra["speculations_used"] >= 0

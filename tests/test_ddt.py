@@ -1,0 +1,174 @@
+"""Unit tests for the Dependence Detection Table."""
+
+import pytest
+
+from repro.dependence.ddt import DDT, DDTConfig, DependenceKind
+
+
+class TestDetectionSemantics:
+    def test_raw_detection(self):
+        ddt = DDT(DDTConfig(size=None))
+        ddt.observe_store(pc=100, word_addr=1)
+        dep = ddt.observe_load(pc=200, word_addr=1)
+        assert dep is not None
+        assert dep.kind == DependenceKind.RAW
+        assert dep.source_pc == 100
+        assert dep.sink_pc == 200
+        assert dep.word_addr == 1
+
+    def test_rar_detection(self):
+        ddt = DDT(DDTConfig(size=None))
+        assert ddt.observe_load(pc=100, word_addr=1) is None
+        dep = ddt.observe_load(pc=200, word_addr=1)
+        assert dep.kind == DependenceKind.RAR
+        assert dep.source_pc == 100
+
+    def test_self_rar(self):
+        """A load re-reading the same address RAR-depends on itself."""
+        ddt = DDT(DDTConfig(size=None))
+        ddt.observe_load(pc=100, word_addr=1)
+        dep = ddt.observe_load(pc=100, word_addr=1)
+        assert dep.kind == DependenceKind.RAR
+        assert dep.source_pc == dep.sink_pc == 100
+
+    def test_no_dependence_for_fresh_address(self):
+        ddt = DDT(DDTConfig(size=None))
+        assert ddt.observe_load(pc=100, word_addr=1) is None
+        assert ddt.observe_load(pc=200, word_addr=2) is None
+
+    def test_intervening_store_breaks_rar(self):
+        """LD A, ST A, LD A must be RAW — not RAR — per the definition."""
+        ddt = DDT(DDTConfig(size=None))
+        ddt.observe_load(pc=100, word_addr=1)
+        ddt.observe_store(pc=150, word_addr=1)
+        dep = ddt.observe_load(pc=200, word_addr=1)
+        assert dep.kind == DependenceKind.RAW
+        assert dep.source_pc == 150
+
+    def test_earliest_load_stays_the_source(self):
+        """LD1 A, LD2 A, LD3 A yields (LD1,LD2) and (LD1,LD3), not (LD2,LD3)."""
+        ddt = DDT(DDTConfig(size=None))
+        ddt.observe_load(pc=1, word_addr=9)
+        dep2 = ddt.observe_load(pc=2, word_addr=9)
+        dep3 = ddt.observe_load(pc=3, word_addr=9)
+        assert dep2.source_pc == 1
+        assert dep3.source_pc == 1
+
+    def test_record_all_loads_tracks_most_recent(self):
+        ddt = DDT(DDTConfig(size=None, record_all_loads=True))
+        ddt.observe_load(pc=1, word_addr=9)
+        ddt.observe_load(pc=2, word_addr=9)
+        dep3 = ddt.observe_load(pc=3, word_addr=9)
+        assert dep3.source_pc == 2
+
+    def test_counters(self):
+        ddt = DDT(DDTConfig(size=None))
+        ddt.observe_store(pc=1, word_addr=1)
+        ddt.observe_load(pc=2, word_addr=1)
+        ddt.observe_load(pc=3, word_addr=2)
+        ddt.observe_load(pc=4, word_addr=2)
+        assert ddt.stores_observed == 1
+        assert ddt.loads_observed == 3
+        assert ddt.raw_detected == 1
+        assert ddt.rar_detected == 1
+
+
+class TestFiniteCapacity:
+    def test_eviction_hides_dependences(self):
+        ddt = DDT(DDTConfig(size=2))
+        ddt.observe_store(pc=1, word_addr=1)
+        # Two younger addresses evict the store's entry.
+        ddt.observe_load(pc=2, word_addr=2)
+        ddt.observe_load(pc=3, word_addr=3)
+        assert ddt.observe_load(pc=4, word_addr=1) is None
+
+    def test_bigger_table_sees_more(self):
+        small = DDT(DDTConfig(size=2))
+        large = DDT(DDTConfig(size=16))
+        for addr in range(5):
+            small.observe_store(pc=addr, word_addr=addr)
+            large.observe_store(pc=addr, word_addr=addr)
+        assert small.observe_load(pc=99, word_addr=0) is None
+        assert large.observe_load(pc=99, word_addr=0) is not None
+
+    def test_touch_on_hit_keeps_hot_entries(self):
+        ddt = DDT(DDTConfig(size=2, touch_on_hit=True))
+        ddt.observe_store(pc=1, word_addr=1)
+        ddt.observe_store(pc=2, word_addr=2)
+        ddt.observe_load(pc=3, word_addr=1)   # touches addr 1
+        ddt.observe_store(pc=4, word_addr=3)  # evicts addr 2, not 1
+        assert ddt.observe_load(pc=5, word_addr=1) is not None
+        assert ddt.observe_load(pc=6, word_addr=2) is None
+
+
+class TestRAWOnlyMode:
+    def test_loads_not_recorded(self):
+        """The original cloaking DDT records stores only: no RAR, ever."""
+        ddt = DDT(DDTConfig(size=None, record_loads=False))
+        ddt.observe_load(pc=1, word_addr=9)
+        assert ddt.observe_load(pc=2, word_addr=9) is None
+
+    def test_raw_still_detected(self):
+        ddt = DDT(DDTConfig(size=None, record_loads=False))
+        ddt.observe_store(pc=1, word_addr=9)
+        dep = ddt.observe_load(pc=2, word_addr=9)
+        assert dep.kind == DependenceKind.RAW
+
+    def test_loads_never_evict_stores(self):
+        """Without load recording the Section 5.6.2 anomaly cannot occur."""
+        ddt = DDT(DDTConfig(size=2, record_loads=False))
+        ddt.observe_store(pc=1, word_addr=1)
+        for addr in range(10, 20):
+            ddt.observe_load(pc=2, word_addr=addr)
+        assert ddt.observe_load(pc=3, word_addr=1) is not None
+
+
+class TestSplitDDT:
+    def test_loads_do_not_evict_stores(self):
+        ddt = DDT(DDTConfig(size=2, split=True))
+        ddt.observe_store(pc=1, word_addr=1)
+        for addr in range(10, 20):
+            ddt.observe_load(pc=2, word_addr=addr)
+        dep = ddt.observe_load(pc=3, word_addr=1)
+        assert dep is not None and dep.kind == DependenceKind.RAW
+
+    def test_common_ddt_anomaly_exists(self):
+        """In the shared table the same sequence loses the store (the
+        Figure 9 anomaly the split organization fixes)."""
+        ddt = DDT(DDTConfig(size=2, split=False))
+        ddt.observe_store(pc=1, word_addr=1)
+        for addr in range(10, 20):
+            ddt.observe_load(pc=2, word_addr=addr)
+        assert ddt.observe_load(pc=3, word_addr=1) is None
+
+    def test_store_invalidates_load_entry(self):
+        """A store must break RAR chains through its address even when the
+        tables are split."""
+        ddt = DDT(DDTConfig(size=None, split=True))
+        ddt.observe_load(pc=1, word_addr=9)
+        ddt.observe_store(pc=2, word_addr=9)
+        dep = ddt.observe_load(pc=3, word_addr=9)
+        assert dep.kind == DependenceKind.RAW
+        assert dep.source_pc == 2
+
+    def test_raw_priority_over_rar(self):
+        ddt = DDT(DDTConfig(size=None, split=True))
+        ddt.observe_load(pc=1, word_addr=9)
+        # Store to a different address keeps the load entry alive...
+        ddt.observe_store(pc=2, word_addr=8)
+        dep = ddt.observe_load(pc=3, word_addr=9)
+        assert dep.kind == DependenceKind.RAR
+
+    def test_clear(self):
+        ddt = DDT(DDTConfig(size=None, split=True))
+        ddt.observe_store(pc=1, word_addr=1)
+        ddt.observe_load(pc=1, word_addr=2)
+        ddt.clear()
+        assert ddt.observe_load(pc=2, word_addr=1) is None
+        assert ddt.observe_load(pc=2, word_addr=2) is None
+
+
+class TestConfig:
+    def test_describe(self):
+        assert DDTConfig(size=128).describe() == "DDT(128, common)"
+        assert DDTConfig(size=None, split=True).describe() == "DDT(inf, split)"

@@ -1,0 +1,52 @@
+"""End-to-end determinism: every component must be exactly repeatable.
+
+The experiment results in EXPERIMENTS.md are only meaningful if repeated
+runs produce identical numbers; these tests pin that property for each
+layer of the stack.
+"""
+
+from repro.core import CloakingConfig, CloakingEngine
+from repro.pipeline import CloakedProcessor, Processor
+from repro.trace.sampling import SamplingPlan
+from repro.workloads import get_workload
+
+
+def test_engine_runs_are_identical(com_trace):
+    def run():
+        engine = CloakingEngine(CloakingConfig.paper_timing())
+        stats = engine.run(iter(com_trace))
+        return (stats.correct_raw, stats.correct_rar, stats.wrong_raw,
+                stats.wrong_rar, engine.synonyms.allocated,
+                engine.synonyms.merges)
+
+    assert run() == run()
+
+
+def test_base_processor_runs_are_identical(li_trace):
+    def run():
+        result = Processor().run(iter(li_trace))
+        return (result.cycles, result.branch_mispredicts, result.l1d_misses)
+
+    assert run() == run()
+
+
+def test_cloaked_processor_runs_are_identical(com_trace):
+    def run():
+        processor = CloakedProcessor(cloaking=CloakingConfig.paper_timing())
+        result = processor.run(iter(com_trace),
+                               sampling=SamplingPlan(1, 2, observation=500))
+        return (result.cycles, processor.speculations_used,
+                processor.misspeculations)
+
+    assert run() == run()
+
+
+def test_experiment_harness_runs_are_identical():
+    from repro.experiments import fig6
+
+    def run():
+        rows = fig6.run(scale=0.02, workloads=["li", "swm"])
+        return [(r.abbrev, r.confidence, r.coverage_raw, r.coverage_rar,
+                 r.misspeculation) for r in rows]
+
+    assert run() == run()

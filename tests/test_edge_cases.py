@@ -1,0 +1,139 @@
+"""Edge-case tests across modules: boundaries the main suites skip."""
+
+import pytest
+
+from repro.experiments import fig9
+from repro.experiments.runner import class_means, select_workloads
+from repro.isa import Interpreter, assemble
+from repro.pipeline import Processor, ProcessorConfig
+from repro.trace.sampling import SamplingPlan
+from repro.workloads.base import Workload, lcg_sequence, scaled
+
+
+class TestInterpreterBoundaries:
+    def test_falling_off_the_end_terminates(self):
+        """A program without halt simply ends at the last instruction."""
+        interp = Interpreter(assemble("li r1, 5\nli r2, 6"))
+        trace = list(interp.run())
+        assert len(trace) == 2
+        assert not interp.halted
+
+    def test_empty_program(self):
+        interp = Interpreter(assemble(""))
+        assert list(interp.run()) == []
+
+    def test_jr_to_invalid_pc_raises(self):
+        from repro.isa import ExecutionError
+
+        interp = Interpreter(assemble("li r1, 12\njr r1\nhalt"))
+        with pytest.raises(ValueError):
+            # r1 holds 12, not a valid text address (text base is 0x1000)
+            list(interp.run())
+
+    def test_resumed_generator_state(self):
+        """max_instructions caps exactly; executed reflects the cap."""
+        program = assemble("loop: addi r1, r1, 1\nj loop")
+        interp = Interpreter(program, max_instructions=7)
+        assert len(list(interp.run())) == 7
+        assert interp.executed == 7
+
+    def test_store_to_r0_still_writes_memory(self):
+        interp = Interpreter(assemble(
+            ".data\nb: .space 1\n.text\nla r1, b\nsw r0, 0(r1)\nhalt"))
+        list(interp.run())
+        assert interp.load_word(interp.program.address_of("b")) == 0
+
+
+class TestWorkloadBase:
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(abbrev="x", spec_name="x", category="weird",
+                     description="", builder=lambda s: "halt")
+
+    def test_scaled_minimum(self):
+        assert scaled(10, 0.0001) == 1
+        assert scaled(10, 0.0001, minimum=3) == 3
+        assert scaled(10, 2.0) == 20
+
+    def test_lcg_determinism_and_range(self):
+        a = lcg_sequence(seed=42, count=100, modulus=1000)
+        b = lcg_sequence(seed=42, count=100, modulus=1000)
+        assert a == b
+        assert all(0 <= v < 1000 for v in a)
+        assert lcg_sequence(seed=43, count=100, modulus=1000) != a
+
+    def test_program_cache_reuses_assembly(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload("li")
+        assert workload.program(0.01) is workload.program(0.01)
+
+    def test_select_workloads_passthrough(self):
+        assert len(select_workloads(None)) == 18
+        assert [w.abbrev for w in select_workloads(["li", "go"])] == \
+            ["li", "go"]
+
+
+class TestRunnerHelpers:
+    def test_class_means(self):
+        class W:
+            def __init__(self, is_int): self.is_integer = is_int
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        workloads = [W(True), W(True), W(False), W(False)]
+        int_mean, fp_mean = class_means(values, workloads)
+        assert int_mean == pytest.approx(1.5)
+        assert fp_mean == pytest.approx(3.5)
+
+    def test_class_means_empty_classes(self):
+        int_mean, fp_mean = class_means([], [])
+        assert int_mean == fp_mean == 0.0
+
+
+class TestProcessorBoundaries:
+    def test_empty_trace(self):
+        result = Processor().run(iter([]))
+        assert result.cycles == 0
+        assert result.ipc == 0.0
+
+    def test_branch_accuracy_with_no_branches(self):
+        result = Processor().run(iter([]))
+        assert result.branch_accuracy == 1.0
+
+    def test_sampling_all_functional_tail(self, li_trace):
+        """A plan whose timing part is tiny still yields a valid result."""
+        plan = SamplingPlan(1, 10, observation=100)
+        result = Processor().run(iter(li_trace[:2000]), sampling=plan)
+        assert result.timing_instructions >= 100
+        assert result.cycles > 0
+
+    def test_single_instruction(self):
+        from repro.isa.instructions import OpClass
+        from repro.trace.records import DynInst
+
+        result = Processor().run(iter([DynInst(0, 0x1000, OpClass.IALU,
+                                               rd=1)]))
+        assert result.timing_instructions == 1
+        assert result.cycles > 0
+
+
+class TestFig9Render:
+    def test_render_with_synthetic_rows(self):
+        rows = [fig9.SpeedupRow(
+            abbrev="xx", category="int", base_ipc=2.0,
+            speedups={label: 1.01 for label, _, _ in fig9.CONFIGS})]
+        text = fig9.render(rows)
+        assert "xx" in text and "+1.00%" in text
+
+    def test_summarize_partitions_classes(self):
+        rows = [
+            fig9.SpeedupRow("a", "int", 2.0,
+                            {label: 1.10 for label, _, _ in fig9.CONFIGS}),
+            fig9.SpeedupRow("b", "fp", 2.0,
+                            {label: 1.20 for label, _, _ in fig9.CONFIGS}),
+        ]
+        summary = fig9.summarize(rows)
+        sel = summary["selective/RAW"]
+        assert sel["INT"] == pytest.approx(1.10)
+        assert sel["FP"] == pytest.approx(1.20)
+        assert 1.10 < sel["ALL"] < 1.20

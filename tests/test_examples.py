@@ -1,0 +1,55 @@
+"""Smoke tests: every example script must run and produce its narrative.
+
+Examples are documentation that executes; a broken example is a broken
+README promise.  Each runs in-process at a reduced scale.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name] + list(argv))
+    runpy.run_path(f"{EXAMPLES}/{name}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py")
+    assert "coverage via RAR" in out
+    assert "misspeculation rate" in out
+
+
+def test_linked_list_sharing(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "linked_list_sharing.py", ["0.03"])
+    assert "RAR memory dependence locality" in out
+    assert "RAW+RAR cloaking" in out
+
+
+def test_predictor_shootout(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "predictor_shootout.py", ["0.03"])
+    assert "cloak-only" in out
+    assert "complementary" in out
+
+
+def test_pipeline_speedup(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "pipeline_speedup.py", ["0.02"])
+    assert "base IPC" in out
+    assert "selective RAW+RAR" in out
+    assert "oracle" in out
+
+
+def test_custom_workload(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "custom_workload.py")
+    assert "dependence visibility vs DDT size" in out
+    assert "negative" in out
+
+
+def test_mixed_granularity(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "mixed_granularity.py")
+    assert "size-checked" in out
+    assert "cross-size" in out

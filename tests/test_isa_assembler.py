@@ -1,0 +1,143 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, OpClass, assemble
+from repro.isa.program import DATA_BASE
+from repro.isa.registers import fp, reg
+
+
+class TestDataSection:
+    def test_word_directive(self):
+        program = assemble(".data\nx: .word 1, 2, 3\n.text\nhalt")
+        assert program.data[DATA_BASE] == 1
+        assert program.data[DATA_BASE + 4] == 2
+        assert program.data[DATA_BASE + 8] == 3
+        assert program.address_of("x") == DATA_BASE
+
+    def test_float_directive(self):
+        program = assemble(".data\npi: .float 3.5\n.text\nhalt")
+        assert program.data[DATA_BASE] == 3.5
+
+    def test_space_reserves_words(self):
+        program = assemble(
+            ".data\nbuf: .space 10\nafter: .word 7\n.text\nhalt"
+        )
+        assert program.address_of("after") == DATA_BASE + 40
+        # .space leaves no explicit initialization
+        assert DATA_BASE not in program.data
+
+    def test_hex_word_values(self):
+        program = assemble(".data\nx: .word 0x10\n.text\nhalt")
+        assert program.data[DATA_BASE] == 16
+
+    def test_negative_space_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nb: .space -1\n.text\nhalt")
+
+
+class TestLabels:
+    def test_text_label_resolution(self):
+        program = assemble("main: j end\nnop\nend: halt")
+        assert program.labels == {"main": 0, "end": 2}
+        assert program.instructions[0].target == 2
+
+    def test_label_on_own_line(self):
+        program = assemble("start:\n  nop\n  halt")
+        assert program.labels["start"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a: nop\na: halt")
+
+    def test_undefined_branch_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("beq r1, r2, nowhere\nhalt")
+
+    def test_undefined_data_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("la r1, missing\nhalt")
+
+
+class TestEncodings:
+    def test_three_register_format(self):
+        program = assemble("add r3, r1, r2\nhalt")
+        inst = program.instructions[0]
+        assert inst.opclass == OpClass.IALU
+        assert inst.rd == reg(3)
+        assert inst.srcs == (reg(1), reg(2))
+
+    def test_immediate_format(self):
+        inst = assemble("addi r1, r2, -7\nhalt").instructions[0]
+        assert inst.imm == -7
+
+    def test_memory_operand(self):
+        inst = assemble("lw r1, 8(r2)\nhalt").instructions[0]
+        assert inst.opclass == OpClass.LOAD
+        assert inst.rd == reg(1)
+        assert inst.srcs == (reg(2),)
+        assert inst.imm == 8
+
+    def test_store_source_order_is_base_then_data(self):
+        inst = assemble("sw r5, -4(r6)\nhalt").instructions[0]
+        assert inst.opclass == OpClass.STORE
+        assert inst.srcs == (reg(6), reg(5))
+        assert inst.imm == -4
+
+    def test_memory_operand_defaults_to_zero_displacement(self):
+        inst = assemble("lw r1, (r2)\nhalt").instructions[0]
+        assert inst.imm == 0
+
+    def test_fp_registers(self):
+        inst = assemble("fadd.d f1, f2, f3\nhalt").instructions[0]
+        assert inst.rd == fp(1)
+        assert inst.srcs == (fp(2), fp(3))
+        assert inst.opclass == OpClass.FADD
+
+    def test_fp_mul_precision_classes(self):
+        single = assemble("fmul.s f1, f2, f3\nhalt").instructions[0]
+        double = assemble("fmul.d f1, f2, f3\nhalt").instructions[0]
+        assert single.opclass == OpClass.FMUL_SP
+        assert double.opclass == OpClass.FMUL_DP
+
+    def test_fli_float_immediate(self):
+        inst = assemble("fli f1, 0.25\nhalt").instructions[0]
+        assert inst.fimm == 0.25
+
+    def test_jal_writes_r31(self):
+        program = assemble("jal f\nhalt\nf: jr r31")
+        assert program.instructions[0].rd == reg(31)
+        assert program.instructions[0].opclass == OpClass.CALL
+        assert program.instructions[2].opclass == OpClass.RETURN
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("# a comment\n\nnop  # trailing\nhalt")
+        assert len(program) == 2
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("frobnicate r1, r2\nhalt")
+        assert "frobnicate" in str(excinfo.value)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2\nhalt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2, r99\nhalt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("lw r1, r2\nhalt")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nadd r1, r2, r3")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("nop\nbogus r1\nhalt")
+        assert excinfo.value.line_no == 2

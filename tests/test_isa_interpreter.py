@@ -1,0 +1,192 @@
+"""Unit tests for the functional interpreter."""
+
+import pytest
+
+from repro.isa import ExecutionError, Interpreter, OpClass, assemble
+from repro.isa.registers import fp, reg
+from tests.conftest import run_program
+
+
+def final_reg(source: str, register: int):
+    interp, _ = run_program(source)
+    return interp.registers[register]
+
+
+class TestIntegerOps:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 5, 7, 12),
+        ("sub", 5, 7, -2),
+        ("and", 12, 10, 8),
+        ("or", 12, 10, 14),
+        ("xor", 12, 10, 6),
+        ("slt", 3, 4, 1),
+        ("slt", 4, 3, 0),
+        ("seq", 4, 4, 1),
+        ("sne", 4, 4, 0),
+        ("mul", 6, 7, 42),
+        ("div", 17, 5, 3),
+        ("rem", 17, 5, 2),
+    ])
+    def test_three_register_ops(self, op, a, b, expected):
+        source = f"li r1, {a}\nli r2, {b}\n{op} r3, r1, r2\nhalt"
+        assert final_reg(source, reg(3)) == expected
+
+    def test_division_truncates_toward_zero(self):
+        assert final_reg("li r1, -17\nli r2, 5\ndiv r3, r1, r2\nhalt", 3) == -3
+        assert final_reg("li r1, -17\nli r2, 5\nrem r3, r1, r2\nhalt", 3) == -2
+
+    def test_division_by_zero_yields_zero(self):
+        assert final_reg("li r1, 9\nli r2, 0\ndiv r3, r1, r2\nhalt", 3) == 0
+        assert final_reg("li r1, 9\nli r2, 0\nrem r3, r1, r2\nhalt", 3) == 0
+
+    def test_mul_wraps_to_32_bits(self):
+        value = final_reg(
+            "li r1, 2000000000\nli r2, 3\nmul r3, r1, r2\nhalt", 3)
+        assert -(1 << 31) <= value < (1 << 31)
+
+    @pytest.mark.parametrize("op,a,imm,expected", [
+        ("addi", 5, -3, 2),
+        ("andi", 12, 10, 8),
+        ("ori", 12, 2, 14),
+        ("xori", 12, 10, 6),
+        ("slti", 3, 4, 1),
+        ("sll", 3, 2, 12),
+        ("srl", 12, 2, 3),
+        ("sra", -8, 1, -4),
+    ])
+    def test_immediate_ops(self, op, a, imm, expected):
+        source = f"li r1, {a}\n{op} r3, r1, {imm}\nhalt"
+        assert final_reg(source, reg(3)) == expected
+
+    def test_r0_reads_zero_and_discards_writes(self):
+        interp, _ = run_program("li r0, 99\nadd r1, r0, r0\nhalt")
+        assert interp.registers[0] == 0
+        assert interp.registers[1] == 0
+
+    def test_mov_and_li(self):
+        assert final_reg("li r1, 5\nmov r2, r1\nhalt", 2) == 5
+
+
+class TestFloatingPoint:
+    def test_fp_arithmetic(self):
+        interp, _ = run_program(
+            "fli f1, 1.5\nfli f2, 2.5\nfadd.d f3, f1, f2\n"
+            "fmul.d f4, f1, f2\nfdiv.d f5, f2, f1\nhalt")
+        assert interp.registers[fp(3)] == 4.0
+        assert interp.registers[fp(4)] == 3.75
+        assert interp.registers[fp(5)] == pytest.approx(5 / 3)
+
+    def test_fp_division_by_zero_yields_zero(self):
+        interp, _ = run_program("fli f1, 3.0\nfli f2, 0.0\nfdiv.d f3, f1, f2\nhalt")
+        assert interp.registers[fp(3)] == 0.0
+
+    def test_fp_compare_writes_int_register(self):
+        interp, _ = run_program("fli f1, 1.0\nfli f2, 2.0\nfclt r1, f1, f2\nhalt")
+        assert interp.registers[reg(1)] == 1
+
+    def test_conversions(self):
+        interp, _ = run_program("li r1, 7\nitof f1, r1\nftoi r2, f1\nhalt")
+        assert interp.registers[fp(1)] == 7.0
+        assert interp.registers[reg(2)] == 7
+
+    def test_fneg_fabs(self):
+        interp, _ = run_program("fli f1, -2.5\nfabs f2, f1\nfneg f3, f2\nhalt")
+        assert interp.registers[fp(2)] == 2.5
+        assert interp.registers[fp(3)] == -2.5
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        interp, trace = run_program(
+            ".data\nbuf: .space 4\n.text\n"
+            "la r1, buf\nli r2, 77\nsw r2, 4(r1)\nlw r3, 4(r1)\nhalt")
+        assert interp.registers[reg(3)] == 77
+        loads = [t for t in trace if t.is_load]
+        stores = [t for t in trace if t.is_store]
+        assert loads[0].addr == stores[0].addr
+        assert loads[0].value == stores[0].value == 77
+
+    def test_uninitialized_memory_reads_zero(self):
+        assert final_reg(
+            ".data\nbuf: .space 2\n.text\nla r1, buf\nlw r2, 0(r1)\nhalt", 2) == 0
+
+    def test_data_initialization(self):
+        assert final_reg(
+            ".data\nx: .word 123\n.text\nla r1, x\nlw r2, 0(r1)\nhalt", 2) == 123
+
+    def test_misaligned_access_raises(self):
+        with pytest.raises(ExecutionError):
+            run_program("li r1, 2\nlw r2, 0(r1)\nhalt")
+
+    def test_negative_address_raises(self):
+        with pytest.raises(ExecutionError):
+            run_program("li r1, -4\nlw r2, 0(r1)\nhalt")
+
+    def test_load_word_helper_checks_alignment(self):
+        interp, _ = run_program("halt")
+        with pytest.raises(ExecutionError):
+            interp.load_word(5)
+
+
+class TestControlFlow:
+    def test_taken_and_not_taken_branches(self):
+        interp, trace = run_program(
+            "li r1, 1\nbeq r1, r0, skip\nli r2, 10\nskip: halt")
+        assert interp.registers[reg(2)] == 10
+        branch = next(t for t in trace if t.opclass == OpClass.BRANCH)
+        assert branch.taken is False
+
+    def test_branch_target_pc(self):
+        _, trace = run_program("beq r0, r0, end\nnop\nend: halt")
+        branch = trace[0]
+        assert branch.taken is True
+        assert branch.target_pc == 0x1000 + 8
+
+    def test_loop_executes_expected_count(self):
+        _, trace = run_program(
+            "li r1, 0\nli r2, 5\nloop: addi r1, r1, 1\nblt r1, r2, loop\nhalt")
+        adds = [t for t in trace if t.pc == 0x1008]
+        assert len(adds) == 5
+
+    def test_call_and_return(self):
+        interp, trace = run_program(
+            "jal fn\nli r2, 2\nhalt\nfn: li r1, 1\njr r31")
+        assert interp.registers[reg(1)] == 1
+        assert interp.registers[reg(2)] == 2
+        returns = [t for t in trace if t.opclass == OpClass.RETURN]
+        assert returns[0].target_pc == 0x1004
+
+    @pytest.mark.parametrize("op,value,taken", [
+        ("blez", 0, True), ("blez", 1, False),
+        ("bgtz", 1, True), ("bgtz", 0, False),
+        ("bltz", -1, True), ("bltz", 0, False),
+        ("bgez", 0, True), ("bgez", -1, False),
+    ])
+    def test_single_source_branches(self, op, value, taken):
+        _, trace = run_program(f"li r1, {value}\n{op} r1, end\nnop\nend: halt")
+        branch = next(t for t in trace if t.opclass == OpClass.BRANCH)
+        assert branch.taken is taken
+
+
+class TestExecutionControl:
+    def test_max_instructions_cap(self):
+        program = assemble("loop: addi r1, r1, 1\nj loop")
+        interp = Interpreter(program, max_instructions=100)
+        trace = list(interp.run())
+        assert len(trace) == 100
+        assert not interp.halted
+
+    def test_halt_sets_flag(self):
+        interp, _ = run_program("halt")
+        assert interp.halted
+
+    def test_trace_indices_are_sequential(self):
+        _, trace = run_program("li r1, 1\nli r2, 2\nhalt")
+        assert [t.index for t in trace] == [0, 1]
+
+    def test_determinism(self):
+        source = "li r1, 0\nli r2, 50\nloop: addi r1, r1, 1\nblt r1, r2, loop\nhalt"
+        _, first = run_program(source)
+        _, second = run_program(source)
+        assert [(t.pc, t.opclass, t.addr, t.value) for t in first] == \
+               [(t.pc, t.opclass, t.addr, t.value) for t in second]

@@ -1,0 +1,95 @@
+"""Unit tests for Program addressing and listing, and asmlib helpers."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.program import DATA_BASE, TEXT_BASE
+from repro.workloads.asmlib import AsmBuilder, linked_list_words
+
+
+class TestProgramAddressing:
+    def test_pc_index_roundtrip(self):
+        program = assemble("nop\nnop\nhalt")
+        for index in range(3):
+            assert program.index_of(program.pc_of(index)) == index
+
+    def test_pc_of_base(self):
+        program = assemble("halt")
+        assert program.pc_of(0) == TEXT_BASE
+
+    def test_index_of_rejects_outside_pcs(self):
+        program = assemble("nop\nhalt")
+        with pytest.raises(ValueError):
+            program.index_of(TEXT_BASE + 4 * 99)
+        with pytest.raises(ValueError):
+            program.index_of(TEXT_BASE + 2)  # misaligned
+
+    def test_address_of_unknown_label(self):
+        program = assemble("halt")
+        with pytest.raises(KeyError):
+            program.address_of("ghost")
+
+    def test_len(self):
+        assert len(assemble("nop\nnop\nhalt")) == 3
+
+    def test_disassemble_contains_labels_and_pcs(self):
+        program = assemble("main: li r1, 5\nloop: addi r1, r1, -1\n"
+                           "bgtz r1, loop\nhalt")
+        listing = program.disassemble()
+        assert "main:" in listing
+        assert "loop:" in listing
+        assert f"{TEXT_BASE:#08x}" in listing
+
+
+class TestAsmBuilder:
+    def test_sections_render_in_order(self):
+        builder = AsmBuilder()
+        builder.word("x", 5)
+        builder.label("main")
+        builder.ins("halt")
+        source = builder.source()
+        assert source.index(".data") < source.index(".text")
+        program = assemble(source)
+        assert program.data[DATA_BASE] == 5
+
+    def test_words_chunking(self):
+        builder = AsmBuilder()
+        builder.words("arr", range(40))
+        builder.ins("halt")
+        program = assemble(builder.source())
+        for i in range(40):
+            assert program.data[DATA_BASE + 4 * i] == i
+
+    def test_floats_chunking(self):
+        builder = AsmBuilder()
+        builder.floats("arr", [0.5] * 20)
+        builder.ins("halt")
+        program = assemble(builder.source())
+        assert program.data[DATA_BASE + 4 * 19] == 0.5
+
+    def test_empty_values_rejected(self):
+        builder = AsmBuilder()
+        with pytest.raises(ValueError):
+            builder.words("x", [])
+        with pytest.raises(ValueError):
+            builder.floats("x", [])
+
+    def test_comment_lines_assemble(self):
+        builder = AsmBuilder()
+        builder.comment("hello")
+        builder.ins("halt")
+        assert len(assemble(builder.source())) == 1
+
+
+class TestLinkedListWords:
+    def test_layout_follows_order(self):
+        words = linked_list_words([2, 0, 1], payloads=[10, 20, 30])
+        # slot 2 is the first element: payload 10, next -> slot 0
+        assert words[2 * 2] == 10
+        assert words[2 * 2 + 1] == 0 * 8
+        # slot 0 second: payload 20, next -> slot 1
+        assert words[0] == 20
+        assert words[1] == 1 * 8
+        # slot 1 last: payload 30, end marker
+        assert words[2 * 1] == 30
+        assert words[2 * 1 + 1] == -1

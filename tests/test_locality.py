@@ -1,0 +1,139 @@
+"""Unit tests for the dependence-stream locality analyses (Figures 2, 7)."""
+
+import pytest
+
+from repro.dependence.locality import (
+    AddressValueLocalityAnalysis,
+    RARLocalityAnalysis,
+    _MRUList,
+)
+from repro.isa.instructions import OpClass
+from repro.trace.records import DynInst
+
+
+def load(index, pc, addr, value=0):
+    return DynInst(index, pc, OpClass.LOAD, rd=1, addr=addr, value=value)
+
+
+def store(index, pc, addr, value=0):
+    return DynInst(index, pc, OpClass.STORE, addr=addr, value=value)
+
+
+class TestMRUList:
+    def test_insert_and_promote(self):
+        mru = _MRUList(capacity=3)
+        assert mru.find_and_promote(1) is None
+        assert mru.find_and_promote(2) is None
+        assert mru.find_and_promote(1) == 1
+        assert mru.items == [1, 2]
+
+    def test_capacity_bound(self):
+        mru = _MRUList(capacity=2)
+        for item in (1, 2, 3):
+            mru.find_and_promote(item)
+        assert mru.items == [3, 2]
+        assert mru.find_and_promote(1) is None
+
+
+class TestRARLocality:
+    def test_repeating_dependence_has_locality_one(self):
+        analysis = RARLocalityAnalysis(max_n=4)
+        # source pc=10 reads addr, sink pc=20 re-reads it; repeated.
+        for i in range(10):
+            analysis.observe(load(2 * i, pc=10, addr=4 * 100))
+            analysis.observe(load(2 * i + 1, pc=20, addr=4 * 100))
+        # sink events: first sink (pc=20) has no history; the 9 repeats hit
+        # at position 0.  The source load's self-RAR also registers, giving
+        # additional sink events for pc=10.
+        assert analysis.locality(1) > 0.8
+        assert analysis.locality(4) >= analysis.locality(1)
+
+    def test_alternating_sources_need_larger_n(self):
+        """A sink whose dependence alternates between two sources has a
+        working set of two: locality(2) captures it, locality(1) cannot.
+
+        The address is fresh every round — the *dependence* (PC pair)
+        repeats even though the data moves, the core Section 2 observation.
+        """
+        analysis = RARLocalityAnalysis(max_n=4)
+        for i in range(20):
+            addr = 4 * (1000 + i)
+            source_pc = 10 if i % 2 == 0 else 20
+            analysis.observe(load(2 * i, pc=source_pc, addr=addr))
+            analysis.observe(load(2 * i + 1, pc=30, addr=addr))
+        loc1 = analysis.locality(1)
+        loc2 = analysis.locality(2)
+        assert loc1 == 0.0
+        assert loc2 > 0.8
+
+    def test_monotone_in_n(self):
+        analysis = RARLocalityAnalysis(max_n=4)
+        for i in range(50):
+            analysis.observe(load(2 * i, pc=10 + (i % 3), addr=4 * (i % 5)))
+            analysis.observe(load(2 * i + 1, pc=50, addr=4 * (i % 5)))
+        values = [analysis.locality(n) for n in range(1, 5)]
+        assert values == sorted(values)
+
+    def test_n_bounds_validated(self):
+        analysis = RARLocalityAnalysis(max_n=4)
+        with pytest.raises(ValueError):
+            analysis.locality(0)
+        with pytest.raises(ValueError):
+            analysis.locality(5)
+        with pytest.raises(ValueError):
+            RARLocalityAnalysis(max_n=0)
+
+    def test_window_restriction_hides_distant_sources(self):
+        wide = RARLocalityAnalysis(max_n=4, window=None)
+        narrow = RARLocalityAnalysis(max_n=4, window=4)
+        events = []
+        for round_no in range(5):
+            events.append(load(len(events), pc=10, addr=4 * 999))
+            # eight unique addresses push 999 out of the narrow window
+            for k in range(8):
+                events.append(load(len(events), pc=20 + k, addr=4 * k))
+            events.append(load(len(events), pc=30, addr=4 * 999))
+        for event in events:
+            wide.observe(event)
+            narrow.observe(event)
+        assert wide.sink_loads > narrow.sink_loads
+
+
+class TestAddressValueLocality:
+    def test_stable_address_counts_as_local(self):
+        analysis = AddressValueLocalityAnalysis()
+        for i in range(5):
+            analysis.observe(load(i, pc=10, addr=400, value=7))
+        assert analysis.address.loads == 5
+        # first execution has no history; the remaining 4 are local
+        assert analysis.address.local_nodep + analysis.address.local_rar == 4
+        assert analysis.value.total_locality == pytest.approx(4 / 5)
+
+    def test_changing_address_is_not_local(self):
+        analysis = AddressValueLocalityAnalysis()
+        for i in range(5):
+            analysis.observe(load(i, pc=10, addr=400 + 4 * i, value=7))
+        assert analysis.address.total_locality == 0.0
+        assert analysis.value.total_locality == pytest.approx(4 / 5)
+
+    def test_dependence_buckets(self):
+        analysis = AddressValueLocalityAnalysis()
+        analysis.observe(store(0, pc=1, addr=400, value=3))
+        analysis.observe(load(1, pc=10, addr=400, value=3))   # RAW, no history
+        # The store entry persists in the DDT (loads are recorded only when
+        # no store holds the address), so the repeat load is also RAW.
+        analysis.observe(load(2, pc=10, addr=400, value=3))   # RAW, local
+        assert analysis.address.local_raw == 1
+        assert analysis.address.local_rar == 0
+        # A pure load-load pair lands in the RAR bucket.
+        analysis.observe(load(3, pc=20, addr=800, value=5))
+        analysis.observe(load(4, pc=20, addr=800, value=5))
+        assert analysis.address.local_rar == 1
+
+    def test_fraction_api(self):
+        analysis = AddressValueLocalityAnalysis()
+        analysis.observe(load(0, pc=10, addr=400, value=1))
+        analysis.observe(load(1, pc=10, addr=400, value=1))
+        assert analysis.address.fraction("rar") == pytest.approx(0.5)
+        assert analysis.address.fraction("raw") == 0.0
+        assert analysis.value.fraction("rar") == pytest.approx(0.5)

@@ -1,0 +1,78 @@
+"""Property tests: the cache model against an explicit per-set LRU model."""
+
+from collections import OrderedDict
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memsys.cache import Cache, CacheConfig
+from repro.memsys.write_buffer import WriteBuffer
+
+_accesses = st.lists(
+    st.tuples(st.integers(0, 1023), st.booleans()),  # (block number, is_write)
+    max_size=300,
+)
+
+
+@given(accesses=_accesses)
+def test_cache_matches_per_set_lru_model(accesses):
+    """4 sets x 2 ways x 16B blocks, checked against a reference model."""
+    cache = Cache(CacheConfig(size_bytes=128, block_bytes=16, ways=2,
+                              hit_latency=1, name="t"))
+    sets = [OrderedDict() for _ in range(4)]
+    for block, is_write in accesses:
+        addr = block * 16
+        model = sets[block & 3]
+        expected_hit = block in model
+        if expected_hit:
+            model.move_to_end(block)
+            if is_write:
+                model[block] = True
+        else:
+            if len(model) >= 2:
+                model.popitem(last=False)
+            model[block] = is_write
+        assert cache.access(addr, is_write=is_write) == expected_hit
+    # final content agreement
+    for block, _ in accesses:
+        model = sets[block & 3]
+        assert cache.contains(block * 16) == (block in model)
+
+
+@given(accesses=_accesses)
+def test_cache_counters_consistent(accesses):
+    cache = Cache(CacheConfig(size_bytes=128, block_bytes=16, ways=2,
+                              hit_latency=1, name="t"))
+    for block, is_write in accesses:
+        cache.access(block * 16, is_write=is_write)
+    assert cache.accesses == len(accesses)
+    assert 0 <= cache.misses <= cache.accesses
+    assert cache.writebacks <= cache.misses
+
+
+_pushes = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 5)),  # (block, time delta)
+    max_size=100,
+)
+
+
+@given(pushes=_pushes)
+def test_write_buffer_never_exceeds_capacity(pushes):
+    buffer = WriteBuffer(blocks=4, block_bytes=16, drain_latency=20)
+    now = 0
+    for block, delta in pushes:
+        now += delta
+        done = buffer.push(block * 16, now)
+        assert done >= now or done == now  # completion never in the past
+        assert len(buffer) <= 4
+
+
+@given(pushes=_pushes)
+def test_write_buffer_probe_is_consistent_with_push(pushes):
+    """Immediately after a push, the block must be probe-visible."""
+    buffer = WriteBuffer(blocks=8, block_bytes=16, drain_latency=50)
+    now = 0
+    for block, delta in pushes:
+        now += delta
+        buffer.push(block * 16, now)
+        assert buffer.probe(block * 16, now)

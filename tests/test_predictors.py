@@ -1,0 +1,121 @@
+"""Unit tests for value and branch predictors."""
+
+import pytest
+
+from repro.predictors.branch import (
+    BimodalPredictor,
+    CombinedPredictor,
+    GSharePredictor,
+    ReturnAddressStack,
+)
+from repro.predictors.value_prediction import LastValuePredictor
+
+
+class TestLastValuePredictor:
+    def test_first_observation_misses(self):
+        predictor = LastValuePredictor()
+        assert predictor.predict(100) is None
+        assert predictor.observe(100, 7) is False
+
+    def test_repeated_value_hits(self):
+        predictor = LastValuePredictor()
+        predictor.observe(100, 7)
+        assert predictor.observe(100, 7) is True
+        assert predictor.accuracy == pytest.approx(0.5)
+
+    def test_value_change_misses_then_tracks(self):
+        predictor = LastValuePredictor()
+        predictor.observe(100, 7)
+        assert predictor.observe(100, 8) is False
+        assert predictor.observe(100, 8) is True
+
+    def test_capacity_eviction(self):
+        predictor = LastValuePredictor(capacity=2)
+        predictor.observe(1, 10)
+        predictor.observe(2, 20)
+        predictor.observe(3, 30)      # evicts pc=1
+        assert predictor.predict(1) is None
+        assert predictor.predict(3) == 30
+
+    def test_distinct_pcs_do_not_interfere(self):
+        predictor = LastValuePredictor()
+        predictor.observe(100, 1)
+        predictor.observe(200, 2)
+        assert predictor.observe(100, 1)
+        assert predictor.observe(200, 2)
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        predictor = BimodalPredictor(entries=64)
+        for _ in range(4):
+            predictor.update(100, True)
+        assert predictor.predict(100) is True
+        for _ in range(4):
+            predictor.update(100, False)
+        assert predictor.predict(100) is False
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+
+class TestGShare:
+    def test_learns_history_correlated_pattern(self):
+        """A strictly alternating branch defeats bimodal but not gshare."""
+        gshare = GSharePredictor(entries=1024, history_bits=4)
+        bimodal = BimodalPredictor(entries=1024)
+        pattern = [True, False] * 200
+        g_correct = b_correct = 0
+        for taken in pattern:
+            g_correct += gshare.predict(100) == taken
+            b_correct += bimodal.predict(100) == taken
+            gshare.update(100, taken)
+            bimodal.update(100, taken)
+        assert g_correct > 350
+        assert b_correct < 300
+
+
+class TestCombined:
+    def test_tracks_the_better_component(self):
+        predictor = CombinedPredictor(entries=1024, history_bits=4)
+        for _ in range(100):
+            predictor.observe(100, True)
+            predictor.observe(200, False)
+        assert predictor.accuracy > 0.9
+
+    def test_accuracy_counts(self):
+        predictor = CombinedPredictor(entries=64)
+        predictor.observe(100, True)
+        assert predictor.lookups == 1
+
+
+class TestReturnAddressStack:
+    def test_matched_call_return(self):
+        ras = ReturnAddressStack(depth=8)
+        ras.push(0x1004)
+        assert ras.predict_and_pop(0x1004) is True
+
+    def test_nested_calls(self):
+        ras = ReturnAddressStack(depth=8)
+        ras.push(0x1004)
+        ras.push(0x2004)
+        assert ras.predict_and_pop(0x2004) is True
+        assert ras.predict_and_pop(0x1004) is True
+
+    def test_overflow_loses_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x1004)
+        ras.push(0x2004)
+        ras.push(0x3004)
+        assert ras.predict_and_pop(0x3004) is True
+        assert ras.predict_and_pop(0x2004) is True
+        assert ras.predict_and_pop(0x1004) is False  # lost to overflow
+
+    def test_underflow_mispredicts(self):
+        ras = ReturnAddressStack(depth=2)
+        assert ras.predict_and_pop(0x1004) is False
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)

@@ -1,0 +1,62 @@
+"""Unit tests for the report formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import bar_chart, format_table, pct, signed_pct
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["Ab.", "value"], [["li", "1.0"], ["gcc", "22.5"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Ab." in lines[1]
+        assert lines[2].startswith("---")
+        assert len(lines) == 5
+
+    def test_columns_line_up(self):
+        text = format_table(["a", "bbbb"], [["xxxx", "1"], ["y", "22"]])
+        rows = text.splitlines()[2:]
+        # right-aligned numeric column: last chars align
+        assert rows[0].rstrip().endswith("1")
+        assert rows[1].rstrip().endswith("22")
+
+    def test_no_title(self):
+        text = format_table(["h"], [["v"]])
+        assert text.splitlines()[0] == "h"
+
+
+class TestPercentages:
+    def test_pct(self):
+        assert pct(0.1234) == "12.3%"
+        assert pct(0.1234, 2) == "12.34%"
+
+    def test_signed_pct(self):
+        assert signed_pct(1.05) == "+5.00%"
+        assert signed_pct(0.95) == "-5.00%"
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        text = bar_chart(
+            ["li", "gcc"],
+            [("RAW", [0.5, 0.25]), ("RAR", [0.25, 0.5])],
+            width=20,
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("li")
+        assert lines[1].startswith("   ")         # continuation rows indent
+        assert lines[0].count("#") == 10          # 0.5 of width 20
+        assert "50.0%" in lines[0]
+
+    def test_value_clamping(self):
+        text = bar_chart(["a"], [("s", [2.0])], width=10, max_value=1.0)
+        assert text.count("#") == 10  # clamped to full width
+
+    def test_series_length_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a", "b"], [("s", [0.5])])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [])

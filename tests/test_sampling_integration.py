@@ -1,0 +1,66 @@
+"""Integration tests: sampling + cloaked processor + engine diagnostics."""
+
+import pytest
+
+from repro.core import CloakingConfig
+from repro.pipeline import CloakedProcessor, Processor
+from repro.trace.sampling import SamplingPlan
+from repro.workloads import get_workload
+
+
+class TestSampledCloakedRuns:
+    def test_sampled_cloaked_run_completes(self, com_trace):
+        plan = SamplingPlan(1, 2, observation=500)
+        processor = CloakedProcessor(cloaking=CloakingConfig.paper_timing())
+        result = processor.run(iter(com_trace), sampling=plan)
+        assert result.instructions == len(com_trace)
+        assert 0 < result.timing_instructions < len(com_trace)
+        # the engine observed the whole stream, not just timing segments
+        mem_ops = sum(1 for t in com_trace if t.is_mem)
+        stats = processor.engine.stats
+        assert stats.loads == sum(1 for t in com_trace if t.is_load)
+
+    def test_sampled_speedup_close_to_full(self):
+        """The paper: accuracy with sampling was 'very close, often
+        identical'.  Our timing analogue: the measured speedup with a 1:2
+        plan must approximate the unsampled speedup."""
+        workload = get_workload("com")
+        trace = list(workload.trace(scale=0.15))
+        plan = SamplingPlan(1, 2, observation=2000)
+
+        def speedup(sampling):
+            base = Processor()
+            cloaked = CloakedProcessor(cloaking=CloakingConfig.paper_timing())
+            base.run(iter(trace), sampling=sampling)
+            cloaked.run(iter(trace), sampling=sampling)
+            return (cloaked.finalize("com")
+                    .speedup_over(base.finalize("com")))
+
+        full = speedup(None)
+        sampled = speedup(plan)
+        assert sampled == pytest.approx(full, abs=0.04)
+
+    def test_sampled_engine_accuracy_close_to_full(self, com_trace):
+        """Functional-mode warm-up keeps prediction state continuous, so
+        coverage is identical whether or not timing is sampled."""
+        plan = SamplingPlan(1, 3, observation=400)
+        sampled = CloakedProcessor(cloaking=CloakingConfig.paper_timing())
+        sampled.run(iter(com_trace), sampling=plan)
+        unsampled = CloakedProcessor(cloaking=CloakingConfig.paper_timing())
+        unsampled.run(iter(com_trace))
+        assert sampled.engine.stats.coverage == pytest.approx(
+            unsampled.engine.stats.coverage, abs=0.01)
+
+
+class TestEngineDiagnostics:
+    def test_describe_reports_occupancy(self, li_trace):
+        from repro.core import CloakingEngine
+
+        engine = CloakingEngine(CloakingConfig.paper_accuracy())
+        engine.run(iter(li_trace))
+        info = engine.describe()
+        assert info["mode"] == "RAW+RAR"
+        assert info["dpnt_entries"] > 0
+        assert info["producer_entries"] <= info["dpnt_entries"]
+        assert info["synonyms_allocated"] > 0
+        assert info["ddt_rar_detected"] > 0

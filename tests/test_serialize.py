@@ -1,0 +1,89 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+
+from repro.core import CloakingConfig, CloakingEngine
+from repro.trace.serialize import (
+    TraceFormatError,
+    load_trace,
+    read_trace,
+    save_trace,
+    write_trace,
+)
+from repro.workloads import get_workload
+
+
+def roundtrip(trace):
+    buffer = io.StringIO()
+    write_trace(iter(trace), buffer, name="test")
+    buffer.seek(0)
+    return list(read_trace(buffer))
+
+
+class TestRoundtrip:
+    def test_full_workload_roundtrip(self, li_trace):
+        restored = roundtrip(li_trace)
+        assert len(restored) == len(li_trace)
+        for original, back in zip(li_trace, restored):
+            assert back.index == original.index
+            assert back.pc == original.pc
+            assert back.opclass == original.opclass
+            assert back.addr == original.addr
+            assert back.size == original.size
+            assert back.taken == original.taken
+            if original.is_mem:
+                assert back.value == original.value
+                assert type(back.value) is type(original.value)
+
+    def test_float_values_roundtrip_exactly(self):
+        trace = list(get_workload("swm").trace(scale=0.01,
+                                               max_instructions=3000))
+        restored = roundtrip(trace)
+        for original, back in zip(trace, restored):
+            if original.is_mem:
+                assert back.value == original.value
+
+    def test_analyses_agree_on_restored_trace(self, com_trace):
+        """Cloaking results must be identical on original and restored
+        traces — the property that makes saved traces useful."""
+        restored = roundtrip(com_trace)
+        original_stats = CloakingEngine(
+            CloakingConfig.paper_accuracy()).run(iter(com_trace))
+        restored_stats = CloakingEngine(
+            CloakingConfig.paper_accuracy()).run(iter(restored))
+        assert restored_stats.coverage == original_stats.coverage
+        assert (restored_stats.misspeculation_rate
+                == original_stats.misspeculation_rate)
+
+    def test_file_roundtrip(self, tmp_path, li_trace):
+        path = str(tmp_path / "li.trace")
+        count = save_trace(iter(li_trace[:500]), path, name="li")
+        assert count == 500
+        assert len(list(load_trace(path))) == 500
+
+
+class TestErrors:
+    def test_rejects_non_trace_file(self):
+        with pytest.raises(TraceFormatError):
+            list(read_trace(io.StringIO("hello world\n")))
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(TraceFormatError):
+            list(read_trace(io.StringIO("# repro-trace v99 x\nR 0 0 0 1\n")))
+
+    def test_rejects_malformed_record(self):
+        data = "# repro-trace v1 x\nR 0 4096\n"
+        with pytest.raises(TraceFormatError):
+            list(read_trace(io.StringIO(data)))
+
+    def test_rejects_bad_value_token(self):
+        data = "# repro-trace v1 x\nR 0 4096 9 1 8192 4 q77\n"
+        with pytest.raises(TraceFormatError):
+            list(read_trace(io.StringIO(data)))
+
+    def test_skips_comments_and_blank_lines(self):
+        data = "# repro-trace v1 x\n\n# a comment\nR 0 4096 15 -1\n"
+        records = list(read_trace(io.StringIO(data)))
+        assert len(records) == 1

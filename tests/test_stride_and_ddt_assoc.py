@@ -1,0 +1,107 @@
+"""Tests for the stride value predictor and the set-associative DDT."""
+
+import pytest
+
+from repro.dependence.ddt import DDT, DDTConfig
+from repro.predictors.stride import StrideValuePredictor
+from repro.predictors.value_prediction import LastValuePredictor
+from repro.workloads import get_workload
+
+
+class TestStridePredictor:
+    def test_learns_arithmetic_sequence(self):
+        predictor = StrideValuePredictor()
+        hits = [predictor.observe(100, 10 * i) for i in range(10)]
+        # first two establish last + stride; confidence gates the next two
+        assert hits[4:] == [True] * 6
+
+    def test_constant_sequence_behaves_like_last_value(self):
+        predictor = StrideValuePredictor()
+        hits = [predictor.observe(100, 7) for i in range(6)]
+        assert hits[1:] == [True] * 5
+
+    def test_stride_change_retrains(self):
+        predictor = StrideValuePredictor()
+        for i in range(8):
+            predictor.observe(100, 5 * i)
+        assert predictor.observe(100, 1000) is False  # break the pattern
+        values = [1000 + 3 * i for i in range(1, 8)]
+        hits = [predictor.observe(100, v) for v in values]
+        assert hits[-1] is True  # re-learned the new stride
+
+    def test_floats_fall_back_to_last_value(self):
+        predictor = StrideValuePredictor()
+        assert predictor.observe(100, 1.5) is False
+        assert predictor.observe(100, 1.5) is True
+        assert predictor.observe(100, 2.5) is False
+
+    def test_beats_last_value_on_induction_variables(self):
+        """A memory-spilled loop counter: stride predictable, last-value
+        never correct."""
+        stride = StrideValuePredictor()
+        last = LastValuePredictor()
+        stride_hits = last_hits = 0
+        for i in range(200):
+            stride_hits += stride.observe(100, i)
+            last_hits += last.observe(100, i)
+        assert last_hits == 0
+        assert stride_hits > 150
+
+    def test_capacity_eviction(self):
+        predictor = StrideValuePredictor(capacity=2)
+        predictor.observe(1, 0)
+        predictor.observe(2, 0)
+        predictor.observe(3, 0)
+        assert predictor.predict(1) is None
+
+    def test_real_workload_accuracy_at_least_last_value(self):
+        """Stride subsumes last-value (stride 0), so suite accuracy must
+        not regress by more than confidence warm-up noise."""
+        for name in ("com", "aps"):
+            stride = StrideValuePredictor()
+            last = LastValuePredictor()
+            for inst in get_workload(name).trace(scale=0.02):
+                if inst.is_load:
+                    stride.observe(inst.pc, inst.value)
+                    last.observe(inst.pc, inst.value)
+            assert stride.accuracy >= last.accuracy - 0.02
+
+
+class TestSetAssociativeDDT:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DDT(DDTConfig(size=100, ways=8))
+
+    def test_same_behaviour_when_no_conflicts(self):
+        full = DDT(DDTConfig(size=128, ways=0))
+        assoc = DDT(DDTConfig(size=128, ways=2))
+        for addr in range(20):
+            full.observe_store(pc=1, word_addr=addr)
+            assoc.observe_store(pc=1, word_addr=addr)
+        for addr in range(20):
+            assert (full.observe_load(pc=2, word_addr=addr) is None) == \
+                   (assoc.observe_load(pc=2, word_addr=addr) is None)
+
+    def test_conflicts_lose_dependences(self):
+        """Addresses colliding in one set evict each other even though the
+        table is mostly empty — the cost of limited associativity."""
+        assoc = DDT(DDTConfig(size=8, ways=1))  # 8 sets x 1 way
+        # three stores whose word addresses collide in set 0
+        for addr in (0, 8, 16):
+            assoc.observe_store(pc=1, word_addr=addr)
+        assert assoc.observe_load(pc=2, word_addr=0) is None
+        full = DDT(DDTConfig(size=8, ways=0))
+        for addr in (0, 8, 16):
+            full.observe_store(pc=1, word_addr=addr)
+        assert full.observe_load(pc=2, word_addr=0) is not None
+
+    def test_associative_visibility_bounded_by_full(self):
+        from repro.dependence import DependenceProfiler
+
+        trace = list(get_workload("li").trace(scale=0.02))
+        profiler = DependenceProfiler([
+            DDTConfig(size=128, ways=0),
+            DDTConfig(size=128, ways=2),
+        ])
+        full, assoc = profiler.run(iter(trace))
+        assert assoc.any_fraction <= full.any_fraction + 0.02

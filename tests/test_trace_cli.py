@@ -1,0 +1,81 @@
+"""Tests for the trace tooling CLI and extra property tests for tables."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependence.ddt import DDTConfig
+from repro.trace.__main__ import main as trace_cli
+from repro.util.lru import SetAssociativeTable
+
+
+class TestTraceCLI:
+    def test_dump_then_stats(self, tmp_path, capsys):
+        path = str(tmp_path / "li.trace")
+        assert trace_cli(["dump", "li", "-o", path, "--scale", "0.01",
+                          "--max", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "1,500 records" in out
+
+        assert trace_cli(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "instructions: 1,500" in out
+        assert "loads:" in out
+
+    def test_stats_on_workload_name(self, capsys):
+        assert trace_cli(["stats", "com", "--scale", "0.01",
+                          "--max", "1000"]) == 0
+        assert "workload 'com'" in capsys.readouterr().out
+
+    def test_unknown_workload_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            trace_cli(["dump", "nope", "-o", str(tmp_path / "x")])
+
+
+class TestDDTDescribe:
+    def test_describe_variants(self):
+        assert DDTConfig(size=128).describe() == "DDT(128, common)"
+        assert DDTConfig(size=128, ways=2).describe() == "DDT(128, common, 2-way)"
+        assert (DDTConfig(size=None, split=True).describe()
+                == "DDT(inf, split)")
+
+
+# Model-based property test for the set-associative table: each set must
+# behave exactly like an independent small LRU.
+_ops = st.lists(
+    st.tuples(st.sampled_from(["put", "get", "pop"]), st.integers(0, 15)),
+    max_size=200,
+)
+
+
+@given(ops=_ops)
+def test_set_associative_matches_per_set_lru_model(ops):
+    table = SetAssociativeTable(num_sets=4, ways=2)
+    sets = [OrderedDict() for _ in range(4)]
+
+    def model_for(key):
+        return sets[hash(key) & 3]
+
+    for op, key in ops:
+        model = model_for(key)
+        if op == "put":
+            table.put(key, key * 3)
+            if key in model:
+                model.move_to_end(key)
+            elif len(model) >= 2:
+                model.popitem(last=False)
+            model[key] = key * 3
+        elif op == "get":
+            got = table.get(key)
+            expected = model.get(key)
+            if key in model:
+                model.move_to_end(key)
+            assert got == expected
+        else:
+            assert table.pop(key) == model.pop(key, None)
+    combined = {}
+    for model in sets:
+        combined.update(model)
+    assert table.as_dict() == combined

@@ -1,0 +1,142 @@
+"""Unit tests for the LRU table structures."""
+
+import pytest
+
+from repro.util.lru import LRUTable, SetAssociativeTable
+
+
+class TestLRUTable:
+    def test_put_get_roundtrip(self):
+        table = LRUTable(capacity=4)
+        table.put("a", 1)
+        assert table.get("a") == 1
+        assert "a" in table
+        assert len(table) == 1
+
+    def test_get_missing_returns_default(self):
+        table = LRUTable(capacity=2)
+        assert table.get("nope") is None
+        assert table.get("nope", 42) == 42
+
+    def test_eviction_is_lru_order(self):
+        table = LRUTable(capacity=2)
+        table.put("a", 1)
+        table.put("b", 2)
+        evicted = table.put("c", 3)
+        assert evicted == ("a", 1)
+        assert "a" not in table
+        assert "b" in table and "c" in table
+        assert table.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        table = LRUTable(capacity=2)
+        table.put("a", 1)
+        table.put("b", 2)
+        table.get("a")
+        evicted = table.put("c", 3)
+        assert evicted == ("b", 2)
+
+    def test_get_without_touch_keeps_recency(self):
+        table = LRUTable(capacity=2)
+        table.put("a", 1)
+        table.put("b", 2)
+        table.get("a", touch=False)
+        evicted = table.put("c", 3)
+        assert evicted == ("a", 1)
+
+    def test_update_existing_key_no_eviction(self):
+        table = LRUTable(capacity=2)
+        table.put("a", 1)
+        table.put("b", 2)
+        assert table.put("a", 10) is None
+        assert table.get("a") == 10
+        assert len(table) == 2
+
+    def test_infinite_capacity_never_evicts(self):
+        table = LRUTable(capacity=None)
+        for i in range(10_000):
+            assert table.put(i, i) is None
+        assert len(table) == 10_000
+        assert table.evictions == 0
+
+    def test_pop(self):
+        table = LRUTable(capacity=4)
+        table.put("a", 1)
+        assert table.pop("a") == 1
+        assert table.pop("a", "gone") == "gone"
+
+    def test_clear(self):
+        table = LRUTable(capacity=4)
+        table.put("a", 1)
+        table.clear()
+        assert len(table) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUTable(capacity=0)
+        with pytest.raises(ValueError):
+            LRUTable(capacity=-3)
+
+    def test_iteration_and_items(self):
+        table = LRUTable(capacity=4)
+        table.put("a", 1)
+        table.put("b", 2)
+        assert list(table) == ["a", "b"]
+        assert dict(table.items()) == {"a": 1, "b": 2}
+
+
+class TestSetAssociativeTable:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTable(num_sets=3, ways=2)
+        with pytest.raises(ValueError):
+            SetAssociativeTable(num_sets=4, ways=0)
+
+    def test_capacity(self):
+        table = SetAssociativeTable(num_sets=8, ways=2)
+        assert table.capacity == 16
+
+    def test_basic_roundtrip(self):
+        table = SetAssociativeTable(num_sets=4, ways=2)
+        table.put(10, "x")
+        assert table.get(10) == "x"
+        assert 10 in table
+
+    def test_eviction_within_one_set(self):
+        table = SetAssociativeTable(num_sets=4, ways=2)
+        # keys 0, 4, 8 all map to set 0 (hash(int) == int)
+        table.put(0, "a")
+        table.put(4, "b")
+        evicted = table.put(8, "c")
+        assert evicted == (0, "a")
+        assert 4 in table and 8 in table
+
+    def test_conflict_misses_despite_spare_capacity(self):
+        """Keys colliding in one set evict even though other sets are empty."""
+        table = SetAssociativeTable(num_sets=4, ways=1)
+        table.put(0, "a")
+        table.put(4, "b")
+        assert 0 not in table
+        assert len(table) == 1
+
+    def test_get_touch_controls_lru(self):
+        table = SetAssociativeTable(num_sets=1, ways=2)
+        table.put(1, "a")
+        table.put(2, "b")
+        table.get(1)
+        table.put(3, "c")
+        assert 1 in table and 2 not in table
+
+    def test_pop_and_clear(self):
+        table = SetAssociativeTable(num_sets=2, ways=2)
+        table.put(1, "a")
+        assert table.pop(1) == "a"
+        table.put(2, "b")
+        table.clear()
+        assert len(table) == 0
+
+    def test_as_dict_snapshot(self):
+        table = SetAssociativeTable(num_sets=2, ways=2)
+        table.put(1, "a")
+        table.put(2, "b")
+        assert table.as_dict() == {1: "a", 2: "b"}

@@ -1,0 +1,68 @@
+"""Golden-fingerprint regression tests for the workload suite.
+
+Every experiment number in EXPERIMENTS.md depends on the exact dynamic
+traces the kernels produce.  These fingerprints pin the first 5000
+committed instructions of each workload (at scale 0.05); any change to a
+kernel, the assembler or the interpreter that alters a trace shows up
+here, prompting a deliberate regeneration of goldens *and* of the recorded
+experiment results.
+
+Regenerate after an intentional change with::
+
+    python -c "
+    import hashlib
+    from repro.workloads import all_workloads
+    for w in all_workloads():
+        h = hashlib.sha256()
+        for t in w.trace(scale=0.05, max_instructions=5000):
+            h.update(f'{t.pc},{t.opclass.value},{t.addr},{t.value!r},{t.taken}'.encode())
+        print(f'    \"{w.abbrev}\": \"{h.hexdigest()[:16]}\",')"
+"""
+
+import hashlib
+
+import pytest
+
+from repro.workloads import all_workloads, get_workload
+
+GOLDEN_FINGERPRINTS = {
+    "go": "383051f05520a818",
+    "m88": "b74ccadd27506c91",
+    "gcc": "f62b43db1b6dcbdc",
+    "com": "2a05a36ae0c6b5c1",
+    "li": "97b9872329428c84",
+    "ijp": "c67d6acf0468f155",
+    "per": "64b16f1fbd8b4ad9",
+    "vor": "9d8a2823deeacbbd",
+    "tom": "0da37723b8003983",
+    "swm": "2de084474325494c",
+    "su2": "2efc6fef7aaf23d5",
+    "hyd": "a2e4edc550a965e5",
+    "mgd": "008b700289abc452",
+    "apl": "5a78fe45b6eccb05",
+    "trb": "43484e845692a3da",
+    "aps": "21082172f715e805",
+    "fp*": "cdecfe15be225e30",
+    "wav": "80562d33146afe3d",
+}
+
+
+def fingerprint(abbrev: str) -> str:
+    digest = hashlib.sha256()
+    for t in get_workload(abbrev).trace(scale=0.05, max_instructions=5000):
+        digest.update(
+            f"{t.pc},{t.opclass.value},{t.addr},{t.value!r},{t.taken}".encode())
+    return digest.hexdigest()[:16]
+
+
+def test_every_workload_has_a_golden():
+    assert set(GOLDEN_FINGERPRINTS) == {w.abbrev for w in all_workloads()}
+
+
+@pytest.mark.parametrize("abbrev", sorted(GOLDEN_FINGERPRINTS))
+def test_trace_fingerprint_stable(abbrev):
+    assert fingerprint(abbrev) == GOLDEN_FINGERPRINTS[abbrev], (
+        f"workload {abbrev!r} produces a different trace than the recorded "
+        "golden; if the change is intentional, regenerate the goldens (see "
+        "module docstring) and re-run the experiments in EXPERIMENTS.md"
+    )

@@ -1,0 +1,117 @@
+"""Tests for the workload suite: registry, determinism and idiom shape."""
+
+import pytest
+
+from repro.dependence import DDTConfig, DependenceProfiler
+from repro.trace.stats import collect_stats
+from repro.workloads import (
+    all_workloads,
+    fp_workloads,
+    get_workload,
+    integer_workloads,
+)
+
+TINY = 0.01
+
+
+class TestRegistry:
+    def test_suite_composition(self):
+        assert len(all_workloads()) == 18
+        assert len(integer_workloads()) == 8
+        assert len(fp_workloads()) == 10
+
+    def test_paper_order(self):
+        abbrevs = [w.abbrev for w in all_workloads()]
+        assert abbrevs[:8] == ["go", "m88", "gcc", "com", "li", "ijp", "per",
+                               "vor"]
+        assert abbrevs[8:] == ["tom", "swm", "su2", "hyd", "mgd", "apl", "trb",
+                               "aps", "fp*", "wav"]
+
+    def test_lookup(self):
+        assert get_workload("li").spec_name == "130.li"
+        with pytest.raises(KeyError):
+            get_workload("nonexistent")
+
+    def test_categories(self):
+        assert get_workload("li").is_integer
+        assert not get_workload("swm").is_integer
+
+    def test_sampling_plans_parse(self):
+        for workload in all_workloads():
+            plan = workload.sampling_plan()
+            assert plan.timing >= 1
+
+
+@pytest.mark.parametrize("abbrev", [w.abbrev for w in all_workloads()])
+class TestEveryWorkload:
+    def test_runs_and_halts(self, abbrev):
+        workload = get_workload(abbrev)
+        stats = collect_stats(workload.trace(scale=TINY))
+        assert stats.instructions > 500
+
+    def test_mix_is_plausible(self, abbrev):
+        workload = get_workload(abbrev)
+        stats = collect_stats(workload.trace(scale=TINY))
+        assert 0.05 < stats.load_fraction < 0.6
+        assert 0.0 < stats.store_fraction < 0.35
+        if workload.category == "fp":
+            assert stats.fp_fraction > 0.05
+        else:
+            assert stats.fp_fraction == 0.0
+
+    def test_deterministic(self, abbrev):
+        workload = get_workload(abbrev)
+        first = [(t.pc, t.addr, repr(t.value)) for t in
+                 workload.trace(scale=TINY, max_instructions=2000)]
+        second = [(t.pc, t.addr, repr(t.value)) for t in
+                  workload.trace(scale=TINY, max_instructions=2000)]
+        assert first == second
+
+    def test_scale_controls_length(self, abbrev):
+        workload = get_workload(abbrev)
+        # Sweep-based kernels floor their iteration count at 1, so the two
+        # scales must straddle at least one extra iteration for every kernel.
+        small = collect_stats(workload.trace(scale=0.02)).instructions
+        larger = collect_stats(workload.trace(scale=0.2)).instructions
+        assert larger > small
+
+
+class TestIdiomShape:
+    """The class-level dependence-mix properties the paper relies on."""
+
+    @staticmethod
+    def _profile(workload, scale=0.05):
+        profiler = DependenceProfiler([DDTConfig(size=128)])
+        profiler.run(workload.trace(scale=scale))
+        return profiler.profiles[0]
+
+    def test_com_is_raw_dominated(self):
+        profile = self._profile(get_workload("com"))
+        assert profile.raw_fraction > 0.4
+        assert profile.rar_fraction < 0.1
+
+    def test_li_has_strong_rar(self):
+        """The Figure 3 idiom: two readers per list node."""
+        profile = self._profile(get_workload("li"))
+        assert profile.rar_fraction > 0.3
+
+    def test_fpppp_raw_invisible_rar_visible(self):
+        """Distant-store temporaries: RAW escapes a 128-entry DDT while the
+        re-reads produce visible RAR dependences (Section 3.1's case)."""
+        profile = self._profile(get_workload("fp*"))
+        assert profile.raw_fraction < 0.05
+        assert profile.rar_fraction > 0.3
+
+    def test_class_shape_raw_vs_rar(self):
+        """Integer codes lean RAW, floating-point codes lean RAR (Fig 5)."""
+        int_raw = int_rar = fp_raw = fp_rar = 0.0
+        for workload in integer_workloads():
+            profile = self._profile(workload, scale=0.03)
+            int_raw += profile.raw_fraction
+            int_rar += profile.rar_fraction
+        for workload in fp_workloads():
+            profile = self._profile(workload, scale=0.03)
+            fp_raw += profile.raw_fraction
+            fp_rar += profile.rar_fraction
+        assert int_raw / 8 > int_rar / 8
+        assert fp_rar / 10 > fp_raw / 10
