@@ -36,6 +36,10 @@ def main(argv=None) -> int:
         for name, blurb in _ARTEFACTS.items():
             print(f"  {name:<11} {blurb}")
         print("\n'all' is an alias for 'summary'.")
+        print("'python -m repro <artefact> --help' shows that artefact's "
+              "own options.")
+        print("parallel sweeps + result cache: "
+              "python -m repro.harness run <artefact> --workers N")
         return 0
     name = argv.pop(0)
     if name == "all":
@@ -45,8 +49,20 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     module = importlib.import_module(f"repro.experiments.{name}")
-    module.main(argv)
-    return 0
+    try:
+        status = module.main(argv)
+    except SystemExit as exc:
+        # argparse exits for ``--help`` (code 0) and bad options (code 2);
+        # surface its status instead of letting the exception escape.
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
+    except ValueError as exc:
+        # e.g. an unknown/duplicate --workloads abbreviation
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return int(status) if status is not None else 0
 
 
 if __name__ == "__main__":

@@ -16,7 +16,11 @@ from typing import List, Optional, Sequence
 
 from repro.core import CloakingConfig, CloakingEngine
 from repro.experiments.report import format_table, pct
-from repro.experiments.runner import experiment_parser, select_workloads
+from repro.experiments.runner import (
+    experiment_parser,
+    maybe_write_json,
+    select_workloads,
+)
 from repro.predictors.stride import StrideValuePredictor
 from repro.predictors.value_prediction import LastValuePredictor
 
@@ -60,6 +64,11 @@ def run(scale: float = 1.0,
     return rows
 
 
+def run_one(workload: str, scale: float, **kwargs):
+    """One (workload, scale) cell of the grid — the harness entry point."""
+    return run(scale=scale, workloads=[workload], **kwargs)
+
+
 def render(rows: List[PredictorRow]) -> str:
     table_rows = [
         [row.abbrev,
@@ -79,7 +88,9 @@ def render(rows: List[PredictorRow]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = experiment_parser(__doc__).parse_args(argv)
-    print(render(run(scale=args.scale, workloads=args.workloads)))
+    rows = run(scale=args.scale, workloads=args.workloads)
+    maybe_write_json(args, rows)
+    print(render(rows))
 
 
 if __name__ == "__main__":

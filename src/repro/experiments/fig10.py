@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments import fig9
 from repro.experiments.report import format_table, signed_pct
-from repro.experiments.runner import experiment_parser
+from repro.experiments.runner import experiment_parser, maybe_write_json
 from repro.pipeline import ProcessorConfig
 from repro.pipeline.recovery import RecoveryPolicy
 from repro.core import CloakingMode
@@ -33,6 +33,11 @@ def run(scale: float = 1.0,
         fig9._simulate_workload(workload, scale, config, configs=CONFIGS)
         for workload in select_workloads(workloads)
     ]
+
+
+def run_one(workload: str, scale: float, **kwargs):
+    """One (workload, scale) cell of the grid — the harness entry point."""
+    return run(scale=scale, workloads=[workload], **kwargs)
 
 
 def render(rows: List["fig9.SpeedupRow"]) -> str:
@@ -64,7 +69,9 @@ def render(rows: List["fig9.SpeedupRow"]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = experiment_parser(__doc__).parse_args(argv)
-    print(render(run(scale=args.scale, workloads=args.workloads)))
+    rows = run(scale=args.scale, workloads=args.workloads)
+    maybe_write_json(args, rows)
+    print(render(rows))
 
 
 if __name__ == "__main__":

@@ -12,7 +12,11 @@ from typing import List, Optional, Sequence
 
 from repro.dependence.locality import RARLocalityAnalysis
 from repro.experiments.report import format_table, pct
-from repro.experiments.runner import experiment_parser, select_workloads
+from repro.experiments.runner import (
+    experiment_parser,
+    maybe_write_json,
+    select_workloads,
+)
 
 WINDOWS = {"infinite": None, "4K": 4096}
 
@@ -45,6 +49,11 @@ def run(scale: float = 1.0, workloads: Optional[Sequence[str]] = None,
                 locality=[analysis.locality(n) for n in range(1, max_n + 1)],
             ))
     return rows
+
+
+def run_one(workload: str, scale: float, **kwargs):
+    """One (workload, scale) cell of the grid — the harness entry point."""
+    return run(scale=scale, workloads=[workload], **kwargs)
 
 
 def render(rows: List[LocalityRow]) -> str:
@@ -83,6 +92,7 @@ def render_chart(rows: List[LocalityRow]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = experiment_parser(__doc__).parse_args(argv)
     rows = run(scale=args.scale, workloads=args.workloads)
+    maybe_write_json(args, rows)
     print(render(rows))
     if args.chart:
         print()

@@ -15,7 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.dependence.ddt import DDTConfig
 from repro.dependence.detector import DependenceProfiler
 from repro.experiments.report import format_table, pct
-from repro.experiments.runner import experiment_parser, select_workloads
+from repro.experiments.runner import (
+    experiment_parser,
+    maybe_write_json,
+    select_workloads,
+)
 
 DDT_SIZES: Tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048)
 
@@ -49,6 +53,11 @@ def run(scale: float = 1.0, workloads: Optional[Sequence[str]] = None,
                 rar_fraction=profile.rar_fraction,
             ))
     return rows
+
+
+def run_one(workload: str, scale: float, **kwargs):
+    """One (workload, scale) cell of the grid — the harness entry point."""
+    return run(scale=scale, workloads=[workload], **kwargs)
 
 
 def render(rows: List[SweepRow]) -> str:
@@ -87,6 +96,7 @@ def render_chart(rows: List[SweepRow], ddt_size: int = 128) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = experiment_parser(__doc__).parse_args(argv)
     rows = run(scale=args.scale, workloads=args.workloads)
+    maybe_write_json(args, rows)
     print(render(rows))
     if args.chart:
         print()

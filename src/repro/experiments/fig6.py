@@ -16,7 +16,12 @@ from typing import List, Optional, Sequence
 
 from repro.core import CloakingConfig, CloakingEngine
 from repro.experiments.report import format_table, pct
-from repro.experiments.runner import class_means, experiment_parser, select_workloads
+from repro.experiments.runner import (
+    class_means,
+    experiment_parser,
+    maybe_write_json,
+    select_workloads,
+)
 from repro.predictors.confidence import ConfidenceKind
 
 
@@ -65,6 +70,11 @@ def run(scale: float = 1.0,
                 misspec_rar=stats.misspeculation_rar,
             ))
     return rows
+
+
+def run_one(workload: str, scale: float, **kwargs):
+    """One (workload, scale) cell of the grid — the harness entry point."""
+    return run(scale=scale, workloads=[workload], **kwargs)
 
 
 def render(rows: List[AccuracyRow]) -> str:
@@ -118,6 +128,7 @@ def render_chart(rows: List[AccuracyRow]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = experiment_parser(__doc__).parse_args(argv)
     rows = run(scale=args.scale, workloads=args.workloads)
+    maybe_write_json(args, rows)
     print(render(rows))
     if args.chart:
         print()

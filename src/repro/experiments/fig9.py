@@ -17,7 +17,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import CloakingConfig, CloakingMode
 from repro.experiments.report import format_table, signed_pct
-from repro.experiments.runner import experiment_parser, select_workloads
+from repro.experiments.runner import (
+    experiment_parser,
+    maybe_write_json,
+    select_workloads,
+)
 from repro.pipeline import CloakedProcessor, Processor, ProcessorConfig, RecoveryPolicy
 from repro.trace.sampling import TIMING
 from repro.util.stats import harmonic_mean_speedup
@@ -102,6 +106,11 @@ def summarize(rows: List[SpeedupRow]) -> Dict[str, Dict[str, float]]:
     return summary
 
 
+def run_one(workload: str, scale: float, **kwargs):
+    """One (workload, scale) cell of the grid — the harness entry point."""
+    return run(scale=scale, workloads=[workload], **kwargs)
+
+
 def render(rows: List[SpeedupRow]) -> str:
     labels = [label for label, _, _ in CONFIGS]
     table_rows = [
@@ -127,7 +136,9 @@ def render(rows: List[SpeedupRow]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = experiment_parser(__doc__).parse_args(argv)
-    print(render(run(scale=args.scale, workloads=args.workloads)))
+    rows = run(scale=args.scale, workloads=args.workloads)
+    maybe_write_json(args, rows)
+    print(render(rows))
 
 
 if __name__ == "__main__":

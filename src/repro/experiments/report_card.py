@@ -25,9 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments import fig2, fig5, fig6, fig9, fig10, table52
+from repro.experiments import fig9
 from repro.experiments.report import format_table
 from repro.experiments.runner import experiment_parser
+from repro.harness.api import rows_for
 from repro.predictors.confidence import ConfidenceKind
 from repro.util.stats import harmonic_mean_speedup
 
@@ -49,13 +50,19 @@ def _mean(values: Sequence[float]) -> float:
 
 
 def run(scale: float = 0.1, timing_scale: Optional[float] = None,
-        workloads: Optional[Sequence[str]] = None) -> List[Criterion]:
-    """Measure every shape criterion; returns the graded list."""
+        workloads: Optional[Sequence[str]] = None,
+        **harness_kwargs) -> List[Criterion]:
+    """Measure every shape criterion; returns the graded list.
+
+    Experiment rows come through :func:`repro.harness.api.rows_for`, so
+    ``workers=N`` parallelizes each grid and ``store=ResultStore(...)``
+    makes repeated gradings incremental.
+    """
     timing_scale = timing_scale if timing_scale is not None else scale / 2
     criteria: List[Criterion] = []
 
     # --- accuracy-side experiments -------------------------------------
-    fig6_rows = fig6.run(scale=scale, workloads=workloads)
+    fig6_rows = rows_for("fig6", scale, workloads, **harness_kwargs)
     adaptive = [r for r in fig6_rows
                 if r.confidence == ConfidenceKind.TWO_BIT.value]
     one_bit = [r for r in fig6_rows
@@ -68,7 +75,8 @@ def run(scale: float = 0.1, timing_scale: Optional[float] = None,
         int_rar > 0.05 and fp_rar > int_rar,
     ))
 
-    fig5_rows = fig5.run(scale=scale, workloads=workloads, sizes=(128,))
+    fig5_rows = rows_for("fig5", scale, workloads, {"sizes": (128,)},
+                         **harness_kwargs)
     int_rows = [r for r in fig5_rows if r.category == "int"]
     fp_rows = [r for r in fig5_rows if r.category == "fp"]
     int_raw = _mean([r.raw_fraction for r in int_rows])
@@ -94,7 +102,7 @@ def run(scale: float = 0.1, timing_scale: Optional[float] = None,
         ratio >= 5 and cov_adaptive >= 0.8 * cov_one_bit,
     ))
 
-    table52_rows = table52.run(scale=scale, workloads=workloads)
+    table52_rows = rows_for("table52", scale, workloads, **harness_kwargs)
     cloak_favoured = sum(1 for r in table52_rows
                          if r.cloak_only_total > r.frac(r.vp_only))
     criteria.append(Criterion(
@@ -103,7 +111,8 @@ def run(scale: float = 0.1, timing_scale: Optional[float] = None,
         cloak_favoured > len(table52_rows) / 2,
     ))
 
-    fig2_rows = [r for r in fig2.run(scale=scale, workloads=workloads)
+    fig2_rows = [r for r in rows_for("fig2", scale, workloads,
+                                     **harness_kwargs)
                  if r.window == "infinite" and r.sink_loads]
     high_locality = sum(1 for r in fig2_rows if r.locality[3] > 0.7)
     criteria.append(Criterion(
@@ -113,7 +122,7 @@ def run(scale: float = 0.1, timing_scale: Optional[float] = None,
     ))
 
     # --- timing-side experiments ----------------------------------------
-    fig9_rows = fig9.run(scale=timing_scale, workloads=workloads)
+    fig9_rows = rows_for("fig9", timing_scale, workloads, **harness_kwargs)
     summary = fig9.summarize(fig9_rows)
     sel = summary["selective/RAW+RAR"]["ALL"]
     squ = summary["squash/RAW+RAR"]["ALL"]
@@ -129,7 +138,8 @@ def run(scale: float = 0.1, timing_scale: Optional[float] = None,
         sel >= sel_raw - 0.002,
     ))
 
-    fig10_rows = fig10.run(scale=timing_scale, workloads=workloads)
+    fig10_rows = rows_for("fig10", timing_scale, workloads,
+                          **harness_kwargs)
     int9 = summary["selective/RAW+RAR"].get("INT")
     int10_values = [r.speedups["RAW+RAR"] for r in fig10_rows
                     if r.category == "int"]
@@ -157,8 +167,18 @@ def render(criteria: List[Criterion]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = experiment_parser(__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes per experiment grid (default: serial)",
+    )
     args = parser.parse_args(argv)
-    print(render(run(scale=args.scale, workloads=args.workloads)))
+    criteria = run(scale=args.scale, workloads=args.workloads,
+                   workers=args.workers)
+    print(render(criteria))
+    if args.json:
+        from repro.harness.store import write_rows_json
+
+        write_rows_json(args.json, criteria)
 
 
 if __name__ == "__main__":

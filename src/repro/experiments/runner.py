@@ -12,10 +12,29 @@ DEFAULT_SCALE = 1.0
 
 
 def select_workloads(names: Optional[Sequence[str]] = None) -> List[Workload]:
-    """The requested workloads (paper order), or the full suite."""
+    """The requested workloads (paper order), or the full suite.
+
+    Raises :class:`ValueError` for a duplicate or unknown abbreviation —
+    a duplicate would silently double-count a program in every mean, and
+    an unknown name should report the valid list rather than whatever
+    the registry lookup throws.
+    """
     if not names:
         return all_workloads()
-    return [get_workload(name) for name in names]
+    selected = []
+    seen = set()
+    for name in names:
+        if name in seen:
+            raise ValueError(f"duplicate workload abbreviation {name!r}")
+        seen.add(name)
+        try:
+            selected.append(get_workload(name))
+        except KeyError:
+            valid = ", ".join(w.abbrev for w in all_workloads())
+            raise ValueError(
+                f"unknown workload abbreviation {name!r}; "
+                f"valid abbreviations: {valid}") from None
+    return selected
 
 
 def experiment_parser(description: str) -> argparse.ArgumentParser:
@@ -33,7 +52,21 @@ def experiment_parser(description: str) -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="render ASCII bar charts (where the experiment supports them)",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the computed rows as machine-readable JSON "
+             "(the same serialization the repro.harness result store uses)",
+    )
     return parser
+
+
+def maybe_write_json(args, rows) -> None:
+    """Honour the shared ``--json PATH`` flag for a computed row list."""
+    path = getattr(args, "json", None)
+    if path:
+        from repro.harness.store import write_rows_json
+
+        write_rows_json(path, rows)
 
 
 def class_means(values_by_workload, workloads) -> tuple:

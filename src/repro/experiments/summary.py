@@ -3,58 +3,64 @@
 ``python -m repro.experiments.summary --scale 0.2`` regenerates every
 table and figure (plus the hybrid extension) at the given scale and prints
 them in paper order, with the headline comparisons at the end.
+
+Execution goes through :mod:`repro.harness`: the evaluation decomposes
+into per-(artefact, workload) jobs, so ``--workers N`` fans the grid out
+over worker processes while the default (``--workers 0``) runs the same
+jobs inline, serially — parallel and serial output agree by construction.
+``python -m repro.harness run summary`` adds the content-addressed result
+store on top, making reruns incremental.
 """
 
 from __future__ import annotations
 
-import time
+import importlib
 from typing import List, Optional, Sequence
 
-from repro.experiments import (
-    ext_distance,
-    ext_hybrid,
-    fig2,
-    fig5,
-    fig6,
-    fig7,
-    fig9,
-    fig10,
-    table51,
-    table52,
-)
+from repro.experiments import fig9
 from repro.experiments.report import signed_pct
 from repro.experiments.runner import experiment_parser
+from repro.harness.api import SweepOutcome, run_artefacts
+from repro.harness.registry import ARTEFACTS as _REGISTRY
 
-#: (title, module, scale multiplier) — timing experiments get a smaller
-#: default because the cycle-level model is ~50x the cost per instruction.
-ARTEFACTS = (
-    ("Table 5.1", table51, 1.0),
-    ("Figure 2", fig2, 1.0),
-    ("Figure 5", fig5, 1.0),
-    ("Figure 6", fig6, 1.0),
-    ("Figure 7", fig7, 1.0),
-    ("Table 5.2", table52, 1.0),
-    ("Figure 9", fig9, 0.25),
-    ("Figure 10", fig10, 0.25),
-    ("Extension: hybrid", ext_hybrid, 1.0),
-    ("Extension: distances", ext_distance, 1.0),
+#: (title, artefact name, scale multiplier) — timing experiments get a
+#: smaller default because the cycle-level model is ~50x the cost per
+#: instruction.  Derived from the harness registry (paper order).
+ARTEFACTS = tuple(
+    (spec.title, spec.name, spec.summary_multiplier)
+    for spec in _REGISTRY.values()
+    if spec.summary_multiplier is not None
 )
 
 
-def run_all(scale: float = 0.2,
-            workloads: Optional[Sequence[str]] = None) -> List[str]:
-    """Run every artefact; returns the rendered sections."""
+def sweep(scale: float = 0.2, workloads: Optional[Sequence[str]] = None,
+          **harness_kwargs) -> SweepOutcome:
+    """Run every summary artefact through the harness (one pooled pass)."""
+    requests = [(name, scale * multiplier)
+                for _, name, multiplier in ARTEFACTS]
+    return run_artefacts(requests, workloads, **harness_kwargs)
+
+
+def compose_sections(outcome: SweepOutcome) -> List[str]:
+    """Render a sweep outcome into the report's ordered sections."""
     sections = []
-    for title, module, multiplier in ARTEFACTS:
-        start = time.time()
-        rows = module.run(scale=scale * multiplier, workloads=workloads)
+    for title, name, _ in ARTEFACTS:
+        rows = outcome.rows(name)
+        module = importlib.import_module(_REGISTRY[name].module)
         rendered = module.render(rows)
-        elapsed = time.time() - start
-        sections.append(f"{'=' * 72}\n{title}  ({elapsed:.1f}s)\n{'=' * 72}\n"
-                        f"{rendered}")
+        sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{rendered}")
         if title == "Figure 9":
             sections.append(_headline(rows))
     return sections
+
+
+def run_all(scale: float = 0.2,
+            workloads: Optional[Sequence[str]] = None,
+            workers: int = 0, **harness_kwargs) -> List[str]:
+    """Run every artefact; returns the rendered sections."""
+    return compose_sections(
+        sweep(scale=scale, workloads=workloads, workers=workers,
+              **harness_kwargs))
 
 
 def _headline(fig9_rows) -> str:
@@ -78,10 +84,23 @@ def _headline(fig9_rows) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = experiment_parser(__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the sweep (default: 0 = serial inline)",
+    )
     args = parser.parse_args(argv)
-    for section in run_all(scale=args.scale, workloads=args.workloads):
+    sections = run_all(scale=args.scale, workloads=args.workloads,
+                       workers=args.workers)
+    for section in sections:
         print(section)
         print()
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps({"sections": sections}, indent=2) + "\n",
+            encoding="utf-8")
 
 
 if __name__ == "__main__":

@@ -12,7 +12,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.experiments.report import format_table, pct
-from repro.experiments.runner import experiment_parser, select_workloads
+from repro.experiments.runner import (
+    experiment_parser,
+    maybe_write_json,
+    select_workloads,
+)
 from repro.trace.stats import collect_stats
 
 #: The paper's Table 5.1: (IC in millions, loads, stores, sampling ratio).
@@ -65,6 +69,11 @@ def run(scale: float = 1.0,
     return rows
 
 
+def run_one(workload: str, scale: float, **kwargs):
+    """One (workload, scale) cell of the grid — the harness entry point."""
+    return run(scale=scale, workloads=[workload], **kwargs)
+
+
 def render(rows: List[CharacteristicsRow]) -> str:
     table_rows = []
     for row in rows:
@@ -86,7 +95,9 @@ def render(rows: List[CharacteristicsRow]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = experiment_parser(__doc__).parse_args(argv)
-    print(render(run(scale=args.scale, workloads=args.workloads)))
+    rows = run(scale=args.scale, workloads=args.workloads)
+    maybe_write_json(args, rows)
+    print(render(rows))
 
 
 if __name__ == "__main__":

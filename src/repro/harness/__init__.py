@@ -1,0 +1,41 @@
+"""Parallel experiment orchestration with a content-addressed result store.
+
+The evaluation is a grid of artefacts x workloads.  This package
+decomposes each experiment into per-(artefact, workload, scale) jobs
+(:mod:`repro.harness.jobs`), fans them out over a ``multiprocessing``
+worker pool with per-job timeout, crash isolation and bounded retry
+(:mod:`repro.harness.scheduler`), caches every cell's rows on disk keyed
+by a stable hash of the cell's full configuration plus a code fingerprint
+(:mod:`repro.harness.store`), and records what happened in a run manifest
+(:mod:`repro.harness.manifest`).
+
+``python -m repro.harness run summary --workers 8`` runs the whole
+evaluation in parallel; a second invocation is almost entirely cache hits.
+See docs/harness.md for the job model, hash key and manifest schema.
+"""
+
+from repro.harness.jobs import JobSpec, expand_jobs, execute_job
+from repro.harness.manifest import JobRecord, RunManifest
+from repro.harness.registry import ARTEFACTS, ArtefactSpec, artefact_names
+from repro.harness.scheduler import HarnessError, Scheduler
+from repro.harness.store import ResultStore, code_fingerprint, rows_to_payload
+
+from repro.harness.api import rows_for, run_artefacts
+
+__all__ = [
+    "ARTEFACTS",
+    "ArtefactSpec",
+    "HarnessError",
+    "JobRecord",
+    "JobSpec",
+    "ResultStore",
+    "RunManifest",
+    "Scheduler",
+    "artefact_names",
+    "code_fingerprint",
+    "execute_job",
+    "expand_jobs",
+    "rows_for",
+    "rows_to_payload",
+    "run_artefacts",
+]

@@ -1,0 +1,173 @@
+"""``python -m repro.harness`` — run, inspect or reset the sweep substrate.
+
+    python -m repro.harness run summary --scale 0.1 --workers 8
+    python -m repro.harness run fig2 --scale 0.5 --workers 4
+    python -m repro.harness status
+    python -m repro.harness clean
+
+``run`` prints the same sections as the serial ``python -m repro``
+equivalent (stdout is byte-identical); orchestration chatter — per-cell
+progress and the manifest summary — goes to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.manifest import STATUS_HIT, JobRecord, RunManifest
+from repro.harness.registry import ARTEFACTS
+from repro.harness.store import ResultStore, code_fingerprint
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run an artefact (or 'summary'/'all') through the "
+                    "parallel harness")
+    run.add_argument("artefact",
+                     help="one of: " + ", ".join(ARTEFACTS)
+                          + ", report_card, summary, all")
+    run.add_argument("--scale", type=float, default=None,
+                     help="workload scale factor (default 1.0; summary "
+                          "applies its per-artefact multipliers on top)")
+    run.add_argument("--workloads", nargs="*", default=None,
+                     metavar="ABBREV",
+                     help="subset of workload abbreviations")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: cpu count; "
+                          "0 = run inline)")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-job timeout in seconds (default: none)")
+    run.add_argument("--retries", type=int, default=1,
+                     help="retries per failed/crashed/timed-out job "
+                          "(default %(default)s)")
+    run.add_argument("--store", default=None, metavar="DIR",
+                     help="result store directory "
+                          "(default results/store)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute every cell (results still stored)")
+    run.add_argument("--manifest", default=None, metavar="PATH",
+                     help="manifest output path (default: "
+                          "<store>/manifests/run-<id>.json)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-cell progress on stderr")
+
+    status = sub.add_parser("status", help="show store and last-run stats")
+    status.add_argument("--store", default=None, metavar="DIR")
+
+    clean = sub.add_parser("clean",
+                           help="delete every cached result and manifest")
+    clean.add_argument("--store", default=None, metavar="DIR")
+    return parser
+
+
+def _progress(quiet: bool):
+    def report(record: JobRecord) -> None:
+        if quiet or record.status == STATUS_HIT:
+            return
+        line = (f"  {record.artefact}/{record.workload}: {record.status}"
+                f" ({record.wall_time:.2f}s)")
+        if record.error:
+            line += f" [attempt {record.attempts}]"
+        print(line, file=sys.stderr)
+    return report
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.runner import DEFAULT_SCALE
+
+    store = ResultStore(args.store)
+    scale = DEFAULT_SCALE if args.scale is None else args.scale
+    kwargs = dict(
+        workers=args.workers if args.workers is not None else None,
+        store=store, use_cache=not args.no_cache, timeout=args.timeout,
+        retries=args.retries, manifest_path=args.manifest,
+        progress=_progress(args.quiet),
+    )
+    if kwargs["workers"] is None:
+        import os
+        kwargs["workers"] = os.cpu_count() or 1
+
+    name = args.artefact
+    if name in ("summary", "all"):
+        from repro.experiments import summary
+
+        outcome = summary.sweep(scale=scale, workloads=args.workloads,
+                                allow_failures=True, **kwargs)
+        for section in summary.compose_sections(outcome):
+            print(section)
+            print()
+    elif name == "report_card":
+        from repro.experiments import report_card
+
+        kwargs.pop("manifest_path")
+        kwargs.pop("progress")
+        criteria = report_card.run(scale=scale, workloads=args.workloads,
+                                   **kwargs)
+        print(report_card.render(criteria))
+        print(file=sys.stderr)
+        return 0
+    elif name in ARTEFACTS:
+        from repro.harness.api import run_artefacts
+        from repro.harness.jobs import render_rows
+
+        outcome = run_artefacts([(name, scale)], args.workloads,
+                                allow_failures=True, **kwargs)
+        print(render_rows(name, outcome.runs[0].rows))
+    else:
+        print(f"unknown artefact {args.artefact!r}; known: "
+              + ", ".join(ARTEFACTS) + ", report_card, summary, all",
+              file=sys.stderr)
+        return 2
+
+    manifest = outcome.manifest
+    print(manifest.summary_line(), file=sys.stderr)
+    for record in manifest.failed:
+        print(f"FAILED {record.artefact}/{record.workload}: "
+              f"{(record.error or '').strip().splitlines()[-1]}",
+              file=sys.stderr)
+    return 1 if manifest.failed else 0
+
+
+def _cmd_status(args) -> int:
+    store = ResultStore(args.store)
+    objects = store.objects()
+    manifests = store.manifests()
+    print(f"store:        {store.root}")
+    print(f"objects:      {len(objects)} ({store.size_bytes():,} bytes)")
+    print(f"manifests:    {len(manifests)}")
+    print(f"fingerprint:  {code_fingerprint()}")
+    if manifests:
+        last = RunManifest.load(manifests[-1])
+        print(f"last run:     {last.summary_line()}")
+        if last.failed:
+            for record in last.failed:
+                print(f"  FAILED {record.artefact}/{record.workload}")
+    return 0
+
+
+def _cmd_clean(args) -> int:
+    store = ResultStore(args.store)
+    removed = store.clean()
+    print(f"removed {removed} files from {store.root}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    return _cmd_clean(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

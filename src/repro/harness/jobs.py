@@ -1,0 +1,85 @@
+"""The job model: one experiment cell per (artefact, workload, scale).
+
+Every experiment module exposes ``run(scale, workloads)`` returning a
+list of per-workload row dataclasses, and rows for different workloads
+are independent — so the whole evaluation decomposes into a grid of
+:class:`JobSpec` cells that can execute in any order on any worker, with
+the aggregate recomposed by concatenating each artefact's per-workload
+rows in paper order (exactly what the serial loop produced).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.registry import ARTEFACTS, get_artefact
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One cell of the evaluation grid.
+
+    ``params`` carries experiment-specific keyword arguments (for example
+    ``sizes=(128,)`` for a reduced Figure 5 sweep); they are forwarded to
+    ``run_one`` and participate in the store hash key.
+    """
+
+    artefact: str
+    workload: str
+    scale: float
+    params: tuple = field(default_factory=tuple)  # sorted (key, value) pairs
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        return f"{self.artefact}/{self.workload}@{self.scale:g}"
+
+    def key_fields(self) -> dict:
+        """The hashable identity of this cell (code fingerprint excluded)."""
+        return {
+            "artefact": self.artefact,
+            "workload": self.workload,
+            "scale": repr(float(self.scale)),
+            "params": {k: v for k, v in self.params},
+            "config": get_artefact(self.artefact).config_descriptor(),
+        }
+
+
+def make_job(artefact: str, workload: str, scale: float,
+             params: Optional[dict] = None) -> JobSpec:
+    """A :class:`JobSpec` with normalized (sorted, tuple-ized) params."""
+    items = tuple(sorted((params or {}).items()))
+    return JobSpec(artefact=artefact, workload=workload, scale=float(scale),
+                   params=items)
+
+
+def expand_jobs(artefact: str, scale: float,
+                workloads: Optional[Sequence[str]] = None,
+                params: Optional[dict] = None) -> List[JobSpec]:
+    """Decompose one artefact request into per-workload jobs (paper order)."""
+    from repro.experiments.runner import select_workloads
+
+    get_artefact(artefact)  # validate the name early
+    selected = select_workloads(workloads)
+    return [make_job(artefact, w.abbrev, scale, params) for w in selected]
+
+
+def execute_job(spec: JobSpec) -> list:
+    """Run one cell in the current process; returns the row list."""
+    module = importlib.import_module(get_artefact(spec.artefact).module)
+    run_one = getattr(module, "run_one", None)
+    if run_one is not None:
+        return run_one(spec.workload, spec.scale, **spec.params_dict)
+    return module.run(scale=spec.scale, workloads=[spec.workload],
+                      **spec.params_dict)
+
+
+def render_rows(artefact: str, rows: list) -> str:
+    """Render aggregated rows with the artefact's own ``render``."""
+    module = importlib.import_module(get_artefact(artefact).module)
+    return module.render(rows)

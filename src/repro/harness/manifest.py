@@ -1,0 +1,143 @@
+"""The run manifest: what happened, cell by cell.
+
+Written as JSON next to the store (``<store>/manifests/run-<id>.json``)
+after every scheduler run.  Schema (see docs/harness.md):
+
+    {
+      "run_id": "20260805-143022.518200-1a2b3c",
+      "created": "2026-08-05T14:30:22",
+      "workers": 4,
+      "fingerprint": "0f3a...",
+      "jobs": [
+        {"artefact": "fig2", "workload": "li", "scale": 0.1,
+         "params": {}, "key": "ab12...", "status": "hit|computed|failed",
+         "wall_time": 0.41, "worker": 12345, "attempts": 1,
+         "error": null}
+      ],
+      "totals": {"jobs": 180, "hits": 162, "computed": 18,
+                 "failed": 0, "wall_time": 12.3}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from datetime import datetime
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+STATUS_HIT = "hit"
+STATUS_COMPUTED = "computed"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class JobRecord:
+    """The manifest entry for one job."""
+
+    artefact: str
+    workload: str
+    scale: float
+    params: dict
+    key: str
+    status: str
+    wall_time: float = 0.0
+    worker: Optional[int] = None    # worker pid; None = ran in-process
+    attempts: int = 1
+    error: Optional[str] = None     # traceback text for failed jobs
+
+    @property
+    def ok(self) -> bool:
+        return self.status != STATUS_FAILED
+
+
+@dataclass
+class RunManifest:
+    """One scheduler run: per-job records plus aggregate totals."""
+
+    run_id: str = ""
+    created: str = ""
+    workers: int = 0
+    fingerprint: str = ""
+    jobs: List[JobRecord] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.run_id:
+            # microsecond stamp so manifest filenames sort by creation
+            stamp = datetime.now().strftime("%Y%m%d-%H%M%S.%f")
+            self.run_id = f"{stamp}-{uuid.uuid4().hex[:6]}"
+        if not self.created:
+            self.created = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    # -- aggregates ------------------------------------------------------
+
+    def count(self, status: str) -> int:
+        return sum(1 for job in self.jobs if job.status == status)
+
+    @property
+    def hits(self) -> int:
+        return self.count(STATUS_HIT)
+
+    @property
+    def computed(self) -> int:
+        return self.count(STATUS_COMPUTED)
+
+    @property
+    def failed(self) -> List[JobRecord]:
+        return [job for job in self.jobs if job.status == STATUS_FAILED]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.hits / len(self.jobs) if self.jobs else 0.0
+
+    def totals(self) -> dict:
+        return {
+            "jobs": len(self.jobs),
+            "hits": self.hits,
+            "computed": self.computed,
+            "failed": len(self.failed),
+            "wall_time": round(self.wall_time, 3),
+        }
+
+    def summary_line(self) -> str:
+        t = self.totals()
+        return (f"run {self.run_id}: {t['jobs']} jobs, "
+                f"{t['hits']} cache hits, {t['computed']} computed, "
+                f"{t['failed']} failed, {t['wall_time']:.1f}s wall")
+
+    # -- (de)serialization ----------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "created": self.created,
+            "workers": self.workers,
+            "fingerprint": self.fingerprint,
+            "jobs": [asdict(job) for job in self.jobs],
+            "totals": self.totals(),
+        }
+
+    def write(self, path: os.PathLike) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_json(), indent=2) + "\n",
+                          encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "RunManifest":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        manifest = cls(
+            run_id=data["run_id"],
+            created=data["created"],
+            workers=data.get("workers", 0),
+            fingerprint=data.get("fingerprint", ""),
+            jobs=[JobRecord(**job) for job in data.get("jobs", [])],
+        )
+        manifest.wall_time = data.get("totals", {}).get("wall_time", 0.0)
+        return manifest

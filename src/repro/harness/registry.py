@@ -1,0 +1,148 @@
+"""The artefact registry: what the harness knows how to run.
+
+Every entry names an experiment module exposing the uniform interface
+``run(scale, workloads) -> rows`` / ``render(rows) -> str`` (plus the
+per-cell ``run_one(workload, scale)`` entry point), together with a
+*configuration descriptor* — the pipeline/DDT/predictor configuration the
+experiment bakes in.  The descriptor participates in the result-store
+hash key, so changing a paper configuration (say the DDT size behind
+Figure 6) invalidates exactly the cached cells it affects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ArtefactSpec:
+    """One runnable artefact: module location plus cache-key metadata."""
+
+    name: str
+    module: str                     # dotted import path
+    title: str                      # section heading used by ``summary``
+    summary_multiplier: Optional[float] = None  # None = not part of summary
+    config: Callable[[], dict] = field(default=lambda: {})
+
+    def config_descriptor(self) -> dict:
+        """The JSON-able configuration participating in the hash key."""
+        return self.config()
+
+
+def _accuracy_config() -> dict:
+    from repro.core import CloakingConfig
+    from repro.predictors.confidence import ConfidenceKind
+
+    return {
+        "cloaking": {
+            kind.value: repr(CloakingConfig.paper_accuracy(confidence=kind))
+            for kind in (ConfidenceKind.ONE_BIT, ConfidenceKind.TWO_BIT)
+        },
+    }
+
+
+def _locality_config() -> dict:
+    from repro.experiments.fig2 import WINDOWS
+
+    return {"windows": {k: v for k, v in WINDOWS.items()}, "max_n": 4}
+
+
+def _sweep_config() -> dict:
+    from repro.experiments.fig5 import DDT_SIZES
+
+    return {"ddt_sizes": list(DDT_SIZES)}
+
+
+def _breakdown_config() -> dict:
+    from repro.core import CloakingConfig
+
+    return {"cloaking": repr(CloakingConfig.paper_accuracy())}
+
+
+def _overlap_config() -> dict:
+    from repro.core import CloakingConfig
+
+    return {"cloaking": repr(CloakingConfig.paper_overlap()),
+            "vp_capacity": 16 * 1024}
+
+
+def _timing_config() -> dict:
+    from repro.core import CloakingConfig
+    from repro.pipeline import ProcessorConfig
+
+    return {"processor": repr(ProcessorConfig()),
+            "cloaking": repr(CloakingConfig.paper_timing())}
+
+
+def _nospec_timing_config() -> dict:
+    from repro.core import CloakingConfig
+    from repro.pipeline import ProcessorConfig
+
+    return {"processor": repr(ProcessorConfig(memory_speculation=False)),
+            "cloaking": repr(CloakingConfig.paper_timing())}
+
+
+def _hybrid_config() -> dict:
+    from repro.core import CloakingConfig
+
+    return {"cloaking": repr(CloakingConfig.paper_overlap()), "hybrid": True}
+
+
+def _distance_config() -> dict:
+    from repro.experiments.ext_distance import LIMITS
+
+    return {"limits": list(LIMITS), "rescue_limit": 128}
+
+
+def _predictors_config() -> dict:
+    from repro.core import CloakingConfig
+
+    return {"cloaking": repr(CloakingConfig.paper_overlap()),
+            "predictors": ["last_value", "stride"]}
+
+
+#: Paper order; ``summary_multiplier`` mirrors ``summary.ARTEFACTS`` (the
+#: timing experiments run at a reduced default scale).
+ARTEFACTS: Dict[str, ArtefactSpec] = {
+    spec.name: spec
+    for spec in (
+        ArtefactSpec("table51", "repro.experiments.table51",
+                     "Table 5.1", 1.0),
+        ArtefactSpec("fig2", "repro.experiments.fig2",
+                     "Figure 2", 1.0, _locality_config),
+        ArtefactSpec("fig5", "repro.experiments.fig5",
+                     "Figure 5", 1.0, _sweep_config),
+        ArtefactSpec("fig6", "repro.experiments.fig6",
+                     "Figure 6", 1.0, _accuracy_config),
+        ArtefactSpec("fig7", "repro.experiments.fig7",
+                     "Figure 7", 1.0, _breakdown_config),
+        ArtefactSpec("table52", "repro.experiments.table52",
+                     "Table 5.2", 1.0, _overlap_config),
+        ArtefactSpec("fig9", "repro.experiments.fig9",
+                     "Figure 9", 0.25, _timing_config),
+        ArtefactSpec("fig10", "repro.experiments.fig10",
+                     "Figure 10", 0.25, _nospec_timing_config),
+        ArtefactSpec("ext_hybrid", "repro.experiments.ext_hybrid",
+                     "Extension: hybrid", 1.0, _hybrid_config),
+        ArtefactSpec("ext_distance", "repro.experiments.ext_distance",
+                     "Extension: distances", 1.0, _distance_config),
+        ArtefactSpec("ext_predictors", "repro.experiments.ext_predictors",
+                     "Extension: predictors", None, _predictors_config),
+    )
+}
+
+
+def artefact_names(summary_only: bool = False) -> List[str]:
+    """Registered artefact names (paper order)."""
+    return [name for name, spec in ARTEFACTS.items()
+            if not summary_only or spec.summary_multiplier is not None]
+
+
+def get_artefact(name: str) -> ArtefactSpec:
+    try:
+        return ARTEFACTS[name]
+    except KeyError:
+        known = ", ".join(ARTEFACTS)
+        raise ValueError(
+            f"unknown artefact {name!r}; known: {known}") from None

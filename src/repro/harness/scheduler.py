@@ -1,0 +1,265 @@
+"""The job scheduler: a crash-isolated ``multiprocessing`` fan-out.
+
+Each cache-miss job runs in its own worker process (``fork`` start
+method), so a worker that dies — segfault, OOM kill, unhandled exception
+— fails exactly one cell and never takes the sweep down.  Jobs get a
+per-job wall-clock timeout and a bounded number of retries; whatever
+remains failed after the retry budget is recorded in the manifest with
+its traceback and the sweep continues.
+
+``workers=0`` executes jobs inline in the calling process (no
+subprocesses, timeouts ignored) with identical bookkeeping — that is the
+mode the plain serial ``python -m repro summary`` path uses, which is why
+parallel and serial runs agree by construction: both produce rows through
+the same job decomposition and aggregation, differing only in where each
+cell executes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.jobs import JobSpec, execute_job
+from repro.harness.manifest import (
+    STATUS_COMPUTED,
+    STATUS_FAILED,
+    STATUS_HIT,
+    JobRecord,
+    RunManifest,
+)
+from repro.harness.store import ResultStore, code_fingerprint
+
+ProgressFn = Callable[[JobRecord], None]
+
+
+class HarnessError(RuntimeError):
+    """Raised when a sweep finishes with failed cells and the caller
+    asked for all-or-nothing results."""
+
+
+def _worker_main(spec: JobSpec, key: str, store_root, conn) -> None:
+    """Child-process entry: run one job, persist it, report back."""
+    start = time.time()
+    try:
+        rows = execute_job(spec)
+        elapsed = time.time() - start
+        if store_root is not None:
+            ResultStore(store_root).put(key, spec, rows, elapsed)
+        conn.send(("ok", rows, elapsed))
+    except BaseException:
+        conn.send(("err", traceback.format_exc(), time.time() - start))
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """Book-keeping for one in-flight worker process."""
+
+    def __init__(self, spec: JobSpec, key: str, attempts: int, proc, conn):
+        self.spec = spec
+        self.key = key
+        self.attempts = attempts
+        self.proc = proc
+        self.conn = conn
+        self.started = time.time()
+
+
+class Scheduler:
+    """Fan a job list out over worker processes, through the store."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 progress: Optional[ProgressFn] = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, jobs: List[JobSpec], store: Optional[ResultStore] = None,
+            use_cache: bool = True) -> "SchedulerRun":
+        """Execute ``jobs``; returns rows per job plus the manifest."""
+        started = time.time()
+        manifest = RunManifest(workers=self.workers,
+                               fingerprint=code_fingerprint())
+        unique: List[JobSpec] = []
+        seen = set()
+        for spec in jobs:
+            if spec not in seen:
+                seen.add(spec)
+                unique.append(spec)
+
+        keys = {spec: (store.key_for(spec) if store
+                       else ResultStore().key_for(spec)) for spec in unique}
+        results: Dict[JobSpec, list] = {}
+        records: Dict[JobSpec, JobRecord] = {}
+
+        pending: deque = deque()
+        for spec in unique:
+            cached = store.get(keys[spec]) if (store and use_cache) else None
+            if cached is not None:
+                results[spec] = cached
+                records[spec] = self._record(spec, keys[spec], STATUS_HIT)
+            else:
+                pending.append((spec, 1))
+
+        if self.workers == 0:
+            self._run_inline(pending, keys, store, results, records)
+        else:
+            self._run_pool(pending, keys, store, results, records)
+
+        manifest.jobs = [records[spec] for spec in unique]
+        manifest.wall_time = time.time() - started
+        return SchedulerRun(results=results, manifest=manifest)
+
+    # -- execution strategies -------------------------------------------
+
+    def _run_inline(self, pending, keys, store, results, records) -> None:
+        while pending:
+            spec, attempts = pending.popleft()
+            key = keys[spec]
+            start = time.time()
+            try:
+                rows = execute_job(spec)
+            except Exception:
+                self._fail(pending, records, spec, key, attempts,
+                           traceback.format_exc(), time.time() - start)
+                continue
+            elapsed = time.time() - start
+            if store is not None:
+                store.put(key, spec, rows, elapsed)
+            results[spec] = rows
+            records[spec] = self._record(spec, key, STATUS_COMPUTED,
+                                         wall_time=elapsed, attempts=attempts)
+
+    def _run_pool(self, pending, keys, store, results, records) -> None:
+        ctx = multiprocessing.get_context("fork")
+        store_root = store.root if store is not None else None
+        active: List[_Attempt] = []
+        try:
+            while pending or active:
+                while pending and len(active) < self.workers:
+                    spec, attempts = pending.popleft()
+                    recv, send = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(spec, keys[spec], store_root, send))
+                    proc.start()
+                    send.close()
+                    active.append(_Attempt(spec, keys[spec], attempts,
+                                           proc, recv))
+                multiprocessing.connection.wait(
+                    [attempt.conn for attempt in active], timeout=0.05)
+                still_active: List[_Attempt] = []
+                for attempt in active:
+                    finished = self._reap(pending, results, records,
+                                          attempt)
+                    if not finished:
+                        still_active.append(attempt)
+                active = still_active
+        finally:
+            for attempt in active:
+                attempt.proc.terminate()
+                attempt.proc.join()
+
+    def _reap(self, pending, results, records, attempt: _Attempt) -> bool:
+        """Check one in-flight attempt; True when it has been resolved."""
+        spec, key = attempt.spec, attempt.key
+        if attempt.conn.poll():
+            try:
+                message = attempt.conn.recv()
+            except EOFError:
+                message = None
+            attempt.proc.join()
+            attempt.conn.close()
+            if message is not None and message[0] == "ok":
+                _, rows, elapsed = message
+                results[spec] = rows
+                records[spec] = self._record(
+                    spec, key, STATUS_COMPUTED, wall_time=elapsed,
+                    worker=attempt.proc.pid, attempts=attempt.attempts)
+            else:
+                error = (message[1] if message else
+                         f"worker died without reporting a result "
+                         f"(exit code {attempt.proc.exitcode})")
+                self._fail(pending, records, spec, key, attempt.attempts,
+                           error, time.time() - attempt.started,
+                           worker=attempt.proc.pid)
+            return True
+        if not attempt.proc.is_alive():
+            attempt.conn.close()
+            self._fail(
+                pending, records, spec, key, attempt.attempts,
+                f"worker died without reporting a result "
+                f"(exit code {attempt.proc.exitcode})",
+                time.time() - attempt.started, worker=attempt.proc.pid)
+            return True
+        if (self.timeout is not None
+                and time.time() - attempt.started > self.timeout):
+            attempt.proc.terminate()
+            attempt.proc.join()
+            attempt.conn.close()
+            self._fail(pending, records, spec, key, attempt.attempts,
+                       f"timed out after {self.timeout:g}s",
+                       time.time() - attempt.started,
+                       worker=attempt.proc.pid)
+            return True
+        return False
+
+    # -- record helpers --------------------------------------------------
+
+    def _fail(self, pending, records, spec, key, attempts, error,
+              wall_time, worker=None) -> None:
+        if attempts <= self.retries:
+            pending.append((spec, attempts + 1))
+            return
+        records[spec] = self._record(spec, key, STATUS_FAILED,
+                                     wall_time=wall_time, worker=worker,
+                                     attempts=attempts, error=error)
+
+    def _record(self, spec: JobSpec, key: str, status: str,
+                wall_time: float = 0.0, worker: Optional[int] = None,
+                attempts: int = 1, error: Optional[str] = None) -> JobRecord:
+        record = JobRecord(
+            artefact=spec.artefact, workload=spec.workload, scale=spec.scale,
+            params={k: list(v) if isinstance(v, tuple) else v
+                    for k, v in spec.params},
+            key=key, status=status, wall_time=round(wall_time, 4),
+            worker=worker, attempts=attempts, error=error)
+        if self.progress is not None:
+            self.progress(record)
+        return record
+
+
+class SchedulerRun:
+    """The outcome of one :meth:`Scheduler.run` call."""
+
+    def __init__(self, results: Dict[JobSpec, list],
+                 manifest: RunManifest) -> None:
+        self.results = results
+        self.manifest = manifest
+
+    def rows_for_jobs(self, jobs: List[JobSpec],
+                      allow_failures: bool = False) -> list:
+        """Concatenate per-job rows in the given (paper) order."""
+        missing = [spec for spec in jobs if spec not in self.results]
+        if missing and not allow_failures:
+            labels = ", ".join(spec.label for spec in missing)
+            raise HarnessError(f"jobs failed: {labels}")
+        rows: list = []
+        for spec in jobs:
+            rows.extend(self.results.get(spec, []))
+        return rows

@@ -1,0 +1,148 @@
+"""The content-addressed result store.
+
+Each cached object is the row list of one job, stored as JSON under a key
+that hashes the cell's full identity:
+
+    sha256({artefact, workload, scale, params, config, fingerprint})
+
+where ``config`` is the artefact's configuration descriptor (pipeline /
+DDT / predictor settings, see :mod:`repro.harness.registry`) and
+``fingerprint`` digests every ``.py`` file under ``src/repro`` except the
+harness itself.  Unchanged cells are cache hits on the next run; any code
+or configuration change misses cleanly instead of serving stale rows.
+
+The row serializer (``rows_to_payload`` / ``rows_from_payload``) is also
+what the shared ``--json`` experiment flag emits, so on-disk cache
+objects and user-requested JSON exports share one format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import List, Optional
+
+from repro.util.hashing import stable_hash, tree_fingerprint
+
+#: Default store location (relative to the working directory).
+DEFAULT_ROOT = Path("results") / "store"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the repro source tree (harness excluded)."""
+    import repro
+
+    return tree_fingerprint(Path(repro.__file__).parent, exclude=("harness",))
+
+
+def rows_to_payload(rows: list) -> dict:
+    """Serialize a homogeneous list of row dataclasses to JSON-able form."""
+    if not rows:
+        return {"row_type": None, "rows": []}
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError(f"expected dataclass rows, got {type(first).__name__}")
+    row_type = f"{type(first).__module__}:{type(first).__qualname__}"
+    return {
+        "row_type": row_type,
+        "rows": [dataclasses.asdict(row) for row in rows],
+    }
+
+
+def rows_from_payload(payload: dict) -> list:
+    """Rebuild row dataclass instances from ``rows_to_payload`` output."""
+    row_type = payload.get("row_type")
+    if row_type is None:
+        return []
+    module_name, _, class_name = row_type.partition(":")
+    cls = getattr(importlib.import_module(module_name), class_name)
+    return [cls(**fields) for fields in payload["rows"]]
+
+
+def write_rows_json(path: str, rows: list, indent: int = 2) -> None:
+    """Emit rows as machine-readable JSON (the ``--json`` flag)."""
+    payload = rows_to_payload(rows)
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=indent) + "\n",
+                      encoding="utf-8")
+
+
+class ResultStore:
+    """JSON objects on disk, addressed by content hash."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_ROOT
+
+    # -- keys ------------------------------------------------------------
+
+    def key_for(self, spec, fingerprint: Optional[str] = None) -> str:
+        """The store key of a :class:`~repro.harness.jobs.JobSpec`."""
+        fields = dict(spec.key_fields())
+        fields["fingerprint"] = (fingerprint if fingerprint is not None
+                                 else code_fingerprint())
+        return stable_hash(fields)
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    # -- object access ---------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        return self._object_path(key).exists()
+
+    def get(self, key: str) -> Optional[list]:
+        """The cached rows for ``key``, or None on a miss."""
+        path = self._object_path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return rows_from_payload(payload)
+
+    def put(self, key: str, spec, rows: list, elapsed: float = 0.0) -> None:
+        """Store rows for ``key`` (atomic write; last writer wins)."""
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = rows_to_payload(rows)
+        payload["cell"] = spec.key_fields()
+        payload["elapsed"] = elapsed
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    # -- maintenance -----------------------------------------------------
+
+    def objects(self) -> List[Path]:
+        objects_dir = self.root / "objects"
+        if not objects_dir.is_dir():
+            return []
+        return sorted(objects_dir.glob("*/*.json"))
+
+    def manifest_dir(self) -> Path:
+        return self.root / "manifests"
+
+    def manifests(self) -> List[Path]:
+        if not self.manifest_dir().is_dir():
+            return []
+        return sorted(self.manifest_dir().glob("run-*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.objects())
+
+    def clean(self) -> int:
+        """Delete every cached object and manifest; returns files removed."""
+        removed = 0
+        for path in self.objects() + self.manifests():
+            path.unlink()
+            removed += 1
+        for sub in sorted(self.root.glob("objects/*")):
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        return removed

@@ -1,0 +1,56 @@
+"""Stable hashing helpers shared by the experiment harness.
+
+``stable_hash`` canonicalizes an arbitrary JSON-able object (sorted keys,
+tuples as lists) before hashing, so two structurally equal keys always
+produce the same digest regardless of construction order.
+``tree_fingerprint`` digests a source tree — the harness uses it to tie
+cached results to the exact code that produced them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+
+def canonical_json(obj: object) -> str:
+    """A deterministic JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=_coerce)
+
+
+def _coerce(obj: object) -> object:
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, tuple):
+        return list(obj)
+    return repr(obj)
+
+
+def stable_hash(obj: object, length: int = 40) -> str:
+    """SHA-256 (hex, truncated) of the canonical JSON form of ``obj``."""
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+    return digest[:length]
+
+
+def tree_fingerprint(root: Path, suffix: str = ".py",
+                     exclude: Optional[Iterable[str]] = None,
+                     length: int = 16) -> str:
+    """Digest every ``suffix`` file under ``root`` (path + contents).
+
+    ``exclude`` names top-level subdirectories to skip (the harness
+    excludes itself so harness-only changes do not invalidate results).
+    """
+    excluded = set(exclude or ())
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob(f"*{suffix}")):
+        relative = path.relative_to(root)
+        if relative.parts and relative.parts[0] in excluded:
+            continue
+        digest.update(str(relative).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:length]

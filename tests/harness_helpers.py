@@ -1,0 +1,43 @@
+"""A fault-injecting artefact module for the harness tests.
+
+Registered under the name ``boom`` by ``tests/test_harness.py``; exposes
+the same ``run``/``run_one``/``render`` interface as the real experiment
+modules but fails on demand: the ``go`` cell raises, the ``m88`` cell
+hard-exits its worker process (simulating a crash), every other cell
+succeeds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+RAISING_WORKLOAD = "go"
+DYING_WORKLOAD = "m88"
+
+
+@dataclass
+class BoomRow:
+    abbrev: str
+    scale: float
+
+
+def run(scale: float = 1.0,
+        workloads: Optional[Sequence[str]] = None) -> List[BoomRow]:
+    from repro.experiments.runner import select_workloads
+
+    return [row for w in select_workloads(workloads)
+            for row in run_one(w.abbrev, scale)]
+
+
+def run_one(workload: str, scale: float, **kwargs) -> List[BoomRow]:
+    if workload == RAISING_WORKLOAD:
+        raise RuntimeError("injected failure")
+    if workload == DYING_WORKLOAD:
+        os._exit(13)
+    return [BoomRow(abbrev=workload, scale=scale)]
+
+
+def render(rows: List[BoomRow]) -> str:
+    return "\n".join(f"{row.abbrev} {row.scale:g}" for row in rows)

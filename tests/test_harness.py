@@ -1,0 +1,308 @@
+"""Tests for the parallel experiment harness and its result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import fig2, fig6, summary
+from repro.harness import (
+    ARTEFACTS,
+    ArtefactSpec,
+    HarnessError,
+    JobSpec,
+    ResultStore,
+    RunManifest,
+    Scheduler,
+    expand_jobs,
+    rows_for,
+    run_artefacts,
+)
+from repro.harness.jobs import make_job
+from repro.harness.manifest import STATUS_COMPUTED, STATUS_FAILED, STATUS_HIT
+from repro.harness.store import rows_from_payload, rows_to_payload
+
+import tests.harness_helpers as helpers
+
+SCALE = 0.02
+WORKLOADS = ["li", "com", "swm", "go"]
+
+BOOM = ArtefactSpec("boom", "tests.harness_helpers", "Boom")
+
+
+# ---------------------------------------------------------------------------
+# job model
+
+
+class TestJobModel:
+    def test_expand_jobs_paper_order(self):
+        jobs = expand_jobs("fig2", 0.5)
+        assert len(jobs) == 18
+        assert jobs[0] == JobSpec("fig2", "go", 0.5)
+        assert [j.workload for j in jobs][:3] == ["go", "m88", "gcc"]
+
+    def test_expand_jobs_validates_artefact(self):
+        with pytest.raises(ValueError, match="unknown artefact"):
+            expand_jobs("fig99", 0.5)
+
+    def test_key_changes_with_every_component(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = make_job("fig2", "li", 0.1)
+        assert store.key_for(base) == store.key_for(make_job("fig2", "li", 0.1))
+        assert store.key_for(base) != store.key_for(make_job("fig2", "li", 0.2))
+        assert store.key_for(base) != store.key_for(make_job("fig2", "go", 0.1))
+        assert store.key_for(base) != store.key_for(make_job("fig5", "li", 0.1))
+        assert store.key_for(base) != store.key_for(
+            make_job("fig2", "li", 0.1, {"max_n": 8}))
+        assert store.key_for(base) != store.key_for(base, fingerprint="other")
+
+
+# ---------------------------------------------------------------------------
+# serialization / store
+
+
+class TestStore:
+    def test_rows_round_trip(self):
+        rows = fig2.run(scale=SCALE, workloads=["li"])
+        payload = json.loads(json.dumps(rows_to_payload(rows)))
+        assert rows_from_payload(payload) == rows
+
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_job("fig2", "li", SCALE)
+        rows = fig2.run(scale=SCALE, workloads=["li"])
+        key = store.key_for(spec)
+        assert store.get(key) is None
+        store.put(key, spec, rows)
+        assert store.get(key) == rows
+        assert store.has(key)
+        assert store.clean() == 1
+        assert not store.has(key)
+
+
+# ---------------------------------------------------------------------------
+# parallel == serial
+
+
+class TestParallelEqualsSerial:
+    def test_fig2_fig6_sections_byte_identical(self):
+        outcome = run_artefacts([("fig2", SCALE), ("fig6", SCALE)],
+                                WORKLOADS, workers=4)
+        assert (fig2.render(outcome.rows("fig2"))
+                == fig2.render(fig2.run(scale=SCALE, workloads=WORKLOADS)))
+        assert (fig6.render(outcome.rows("fig6"))
+                == fig6.render(fig6.run(scale=SCALE, workloads=WORKLOADS)))
+
+    def test_summary_parallel_matches_serial(self):
+        serial = summary.run_all(scale=SCALE, workloads=["li", "com"])
+        parallel = summary.run_all(scale=SCALE, workloads=["li", "com"],
+                                   workers=4)
+        assert parallel == serial
+
+    def test_cached_rows_render_identically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fresh = rows_for("fig2", SCALE, WORKLOADS, workers=2, store=store)
+        cached = rows_for("fig2", SCALE, WORKLOADS, workers=0, store=store)
+        assert fig2.render(cached) == fig2.render(fresh)
+
+
+# ---------------------------------------------------------------------------
+# caching + manifest
+
+
+class TestCaching:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        manifest1 = tmp_path / "m1.json"
+        manifest2 = tmp_path / "m2.json"
+        run_artefacts([("fig2", SCALE)], WORKLOADS, workers=2, store=store,
+                      manifest_path=manifest1)
+        first = RunManifest.load(manifest1)
+        assert first.computed == len(WORKLOADS)
+        assert first.hits == 0
+        assert all(job.worker is not None for job in first.jobs)
+
+        run_artefacts([("fig2", SCALE)], WORKLOADS, workers=2, store=store,
+                      manifest_path=manifest2)
+        second = RunManifest.load(manifest2)
+        assert second.hits == len(WORKLOADS)
+        assert second.computed == 0
+        assert second.cache_hit_rate == 1.0
+        # the hit keys are exactly the keys computed on the first run
+        assert ({job.key for job in first.jobs}
+                == {job.key for job in second.jobs})
+
+    def test_manifest_written_into_store_by_default(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_artefacts([("fig2", SCALE)], ["li"], workers=0, store=store)
+        assert len(store.manifests()) == 1
+        manifest = RunManifest.load(store.manifests()[0])
+        assert manifest.jobs[0].status == STATUS_COMPUTED
+        assert manifest.fingerprint
+
+    def test_config_change_invalidates_cache(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        rows_for("fig2", SCALE, ["li"], store=store)
+        outcome = run_artefacts([("fig2", SCALE)], ["li"], store=store)
+        assert outcome.manifest.hits == 1
+
+        changed = ArtefactSpec("fig2", "repro.experiments.fig2", "Figure 2",
+                               1.0, lambda: {"windows": {"8K": 8192}})
+        monkeypatch.setitem(ARTEFACTS, "fig2", changed)
+        outcome = run_artefacts([("fig2", SCALE)], ["li"], store=store)
+        assert outcome.manifest.hits == 0
+        assert outcome.manifest.computed == 1
+
+    def test_no_cache_flag_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        rows_for("fig2", SCALE, ["li"], store=store)
+        outcome = run_artefacts([("fig2", SCALE)], ["li"], store=store,
+                                use_cache=False)
+        assert outcome.manifest.hits == 0
+        assert outcome.manifest.computed == 1
+
+
+# ---------------------------------------------------------------------------
+# crash isolation
+
+
+class TestFailureIsolation:
+    @pytest.fixture(autouse=True)
+    def _register_boom(self, monkeypatch):
+        monkeypatch.setitem(ARTEFACTS, "boom", BOOM)
+
+    def test_raising_job_does_not_abort_the_sweep(self):
+        outcome = run_artefacts([("boom", 1.0)], ["li", "go", "com"],
+                                workers=2, retries=0, allow_failures=True)
+        manifest = outcome.manifest
+        assert len(manifest.failed) == 1
+        failed = manifest.failed[0]
+        assert failed.workload == helpers.RAISING_WORKLOAD
+        assert failed.status == STATUS_FAILED
+        assert "injected failure" in failed.error
+        assert failed.attempts == 1
+        # the healthy cells completed and aggregated
+        assert outcome.runs[0].failed == ["go"]
+        assert [r.abbrev for r in outcome.rows("boom")] == ["li", "com"]
+
+    def test_dying_worker_fails_one_cell_not_the_sweep(self):
+        outcome = run_artefacts([("boom", 1.0)], ["li", "m88", "com"],
+                                workers=2, retries=0, allow_failures=True)
+        manifest = outcome.manifest
+        assert len(manifest.failed) == 1
+        failed = manifest.failed[0]
+        assert failed.workload == helpers.DYING_WORKLOAD
+        assert "worker died" in failed.error
+        assert [r.abbrev for r in outcome.rows("boom")] == ["li", "com"]
+
+    def test_bounded_retry_attempts_recorded(self):
+        outcome = run_artefacts([("boom", 1.0)], ["go"], workers=1,
+                                retries=2, allow_failures=True)
+        assert outcome.manifest.failed[0].attempts == 3
+
+    def test_failures_raise_without_allow_failures(self):
+        with pytest.raises(HarnessError, match="boom/go"):
+            run_artefacts([("boom", 1.0)], ["li", "go"], workers=2,
+                          retries=0)
+
+    def test_inline_failure_isolated_too(self):
+        outcome = run_artefacts([("boom", 1.0)], ["li", "go"], workers=0,
+                                retries=0, allow_failures=True)
+        assert len(outcome.manifest.failed) == 1
+        assert outcome.manifest.failed[0].worker is None
+
+
+# ---------------------------------------------------------------------------
+# scheduler odds and ends
+
+
+class TestScheduler:
+    def test_duplicate_jobs_run_once(self):
+        spec = make_job("fig2", "li", SCALE)
+        run = Scheduler(workers=0).run([spec, spec])
+        assert len(run.manifest.jobs) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Scheduler(workers=-1)
+        with pytest.raises(ValueError):
+            Scheduler(retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# harness CLI
+
+
+class TestHarnessCLI:
+    def test_run_writes_store_and_manifest(self, tmp_path, capsys):
+        from repro.harness.__main__ import main as harness_main
+
+        args = ["run", "fig2", "--scale", str(SCALE), "--workers", "2",
+                "--workloads", "li", "com", "--store", str(tmp_path),
+                "--quiet"]
+        assert harness_main(args) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        store = ResultStore(tmp_path)
+        assert len(store.objects()) == 2
+        assert len(store.manifests()) == 1
+        # the rerun hits the cache and prints byte-identical stdout
+        assert harness_main(args) == 0
+        assert capsys.readouterr().out == out
+        assert RunManifest.load(store.manifests()[-1]).cache_hit_rate == 1.0
+
+    def test_status_and_clean(self, tmp_path, capsys):
+        from repro.harness.__main__ import main as harness_main
+
+        rows_for("fig2", SCALE, ["li"], store=ResultStore(tmp_path))
+        assert harness_main(["status", "--store", str(tmp_path)]) == 0
+        assert "objects:      1" in capsys.readouterr().out
+        assert harness_main(["clean", "--store", str(tmp_path)]) == 0
+        assert ResultStore(tmp_path).objects() == []
+
+    def test_run_unknown_artefact(self, tmp_path, capsys):
+        from repro.harness.__main__ import main as harness_main
+
+        assert harness_main(["run", "nope", "--store", str(tmp_path)]) == 2
+        assert "unknown artefact" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# satellite fixes
+
+
+class TestSatellites:
+    def test_artefact_help_passes_through(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["fig2", "--help"]) == 0
+        assert "--scale" in capsys.readouterr().out
+
+    def test_artefact_bad_option_exit_status(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["fig2", "--no-such-flag"]) == 2
+
+    def test_unknown_workload_is_a_clean_error(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["fig2", "--workloads", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload abbreviation 'nope'" in err
+        assert "li" in err  # the valid list is shown
+
+    def test_select_workloads_rejects_duplicates(self):
+        from repro.experiments.runner import select_workloads
+
+        with pytest.raises(ValueError, match="duplicate"):
+            select_workloads(["li", "li"])
+
+    def test_json_flag_emits_store_format(self, tmp_path):
+        path = tmp_path / "rows.json"
+        fig2.main(["--scale", str(SCALE), "--workloads", "li",
+                   "--json", str(path)])
+        payload = json.loads(path.read_text())
+        assert payload["row_type"] == "repro.experiments.fig2:LocalityRow"
+        assert rows_from_payload(payload) == fig2.run(scale=SCALE,
+                                                      workloads=["li"])
