@@ -22,6 +22,7 @@ _ARTEFACTS = {
     "ext_hybrid": "Extension  - hybrid cloaking + value prediction",
     "ext_distance": "Extension  - dependence distance distributions",
     "ext_predictors": "Extension  - last-value vs stride vs cloaking",
+    "ext_static_ddt": "Extension  - static pair sets vs the dynamic DDT",
     "report_card": "grades the DESIGN.md shape criteria (PASS/FAIL)",
     "summary": "everything - the full evaluation in one report",
 }
@@ -40,10 +41,23 @@ def main(argv=None) -> int:
               "own options.")
         print("parallel sweeps + result cache: "
               "python -m repro.harness run <artefact> --workers N")
+        print("static kernel verification: "
+              "python -m repro analysis suite --strict "
+              "(alias of python -m repro.analysis)")
         return 0
     name = argv.pop(0)
     if name == "all":
         name = "summary"
+    if name == "analysis":
+        from repro.analysis.__main__ import main as analysis_main
+
+        try:
+            return analysis_main(argv)
+        except SystemExit as exc:
+            code = exc.code
+            if code is None:
+                return 0
+            return code if isinstance(code, int) else 2
     if name not in _ARTEFACTS:
         print(f"unknown artefact {name!r}; try 'python -m repro list'",
               file=sys.stderr)

@@ -1,0 +1,43 @@
+"""Static dependence analysis and kernel verification for the mini ISA.
+
+The dynamic side of this repository (DDT, cloaking, pipeline) trusts the
+eighteen hand-written workload kernels to encode the memory-dependence
+idioms the paper attributes to each SPEC'95 program.  This package is the
+independent, trace-free check of that claim:
+
+* :mod:`repro.analysis.cfg` — basic blocks and control-flow edges, with
+  branch-target and halt-reachability validation;
+* :mod:`repro.analysis.dataflow` — abstract register values (constants
+  and data-label pointers) and definite-assignment checking;
+* :mod:`repro.analysis.memdep` — static effective addresses, data-image
+  bounds/alignment checks, and the may-alias RAR/RAW pair sets that
+  over-approximate the paper's Section 3 dependence sets;
+* :mod:`repro.analysis.verifier` — one-call orchestration and the
+  raising ``verify_program`` hook used by ``Workload.program(verify=True)``;
+* ``python -m repro.analysis`` — the lint CLI (see docs/analysis.md).
+
+``repro.experiments.ext_static_ddt`` closes the loop by measuring how
+much of the *dynamic* DDT pair stream the static sets cover.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow import analyze_dataflow
+from repro.analysis.memdep import analyze_memory, data_regions, may_alias
+from repro.analysis.report import AnalysisReport, Diagnostic, Severity
+from repro.analysis.verifier import AnalysisError, analyze_program, verify_program
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "BasicBlock",
+    "CFG",
+    "Diagnostic",
+    "Severity",
+    "analyze_dataflow",
+    "analyze_memory",
+    "analyze_program",
+    "build_cfg",
+    "data_regions",
+    "may_alias",
+    "verify_program",
+]

@@ -1,0 +1,129 @@
+"""``python -m repro.analysis`` — lint kernels with the static analyzer.
+
+    python -m repro.analysis suite --strict          # the structural gate
+    python -m repro.analysis li gcc --scale 0.25
+    python -m repro.analysis path/to/kernel.s        # an assembly file
+    python -m repro.analysis suite --json report.json
+
+Exit status: 0 when every target is clean, 1 when any target has errors
+(with ``--strict``: errors or warnings) or fails to assemble, 2 on bad
+usage (unknown kernel, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+#: Version of the ``--json`` payload layout (bump on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "targets", nargs="+", metavar="TARGET",
+        help="workload abbreviations (e.g. li gcc), 'suite' for all 18 "
+             "kernels, or paths to assembly source files")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor for kernel targets "
+             "(default %(default)s)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (the CI gate)")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full JSON report ('-' writes to stdout)")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show informational diagnostics too")
+    return parser
+
+
+def _resolve_programs(targets: Sequence[str], scale: float) -> List[Tuple[str, object]]:
+    """Each target becomes ``(display_name, Program | AssemblyError)``."""
+    from repro.experiments.runner import select_workloads
+    from repro.isa.assembler import AssemblyError, assemble
+
+    names: List[str] = []
+    files: List[str] = []
+    want_suite = False
+    for target in targets:
+        if target in ("suite", "all"):
+            want_suite = True
+        elif os.sep in target or target.endswith(".s") or os.path.exists(target):
+            files.append(target)
+        else:
+            names.append(target)
+
+    resolved: List[Tuple[str, object]] = []
+    for workload in select_workloads(names if not want_suite else None):
+        if want_suite or workload.abbrev in names:
+            resolved.append((workload.abbrev, workload.program(scale)))
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise ValueError(f"cannot read {path!r}: {exc}") from None
+        try:
+            resolved.append((path, assemble(source, name=path)))
+        except AssemblyError as exc:
+            resolved.append((path, exc))
+    return resolved
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.analysis.verifier import analyze_program
+
+    args = _parser().parse_args(argv)
+    try:
+        programs = _resolve_programs(args.targets, args.scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failed = 0
+    payload_programs = []
+    for name, program in programs:
+        if isinstance(program, Exception):
+            print(f"{name}: FAILED TO ASSEMBLE — {program}")
+            payload_programs.append({
+                "name": name, "assembly_error": str(program)})
+            failed += 1
+            continue
+        report = analyze_program(program)
+        print(report.render(verbose=args.verbose))
+        payload_programs.append(report.to_json_dict())
+        if not report.ok(strict=args.strict):
+            failed += 1
+
+    print(f"\n{len(programs) - failed}/{len(programs)} target(s) clean"
+          + (" (strict)" if args.strict else ""))
+
+    if args.json:
+        payload = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "scale": args.scale,
+            "strict": args.strict,
+            "clean": failed == 0,
+            "programs": payload_programs,
+        }
+        text = json.dumps(payload, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

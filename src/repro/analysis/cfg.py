@@ -1,0 +1,187 @@
+"""Control-flow graph construction for assembled programs.
+
+Basic blocks are maximal straight-line index ranges of a
+:class:`~repro.isa.program.Program`.  Edges follow the interpreter's
+semantics exactly (branch taken/fall-through, unconditional jumps,
+``halt`` terminating execution).  Calls and returns are modelled without
+a call graph: a ``jal`` has its target as the only successor, and every
+``jr`` is given an edge to *every* call-site return point — the classic
+context-insensitive over-approximation, sound for the may/must dataflow
+passes built on top.
+
+Structural validation happens here too: resolved branch targets must be
+inside the program, and a reachable ``halt`` must exist (kernels that
+fall off the end terminate in the interpreter, but only by accident —
+the analyzer flags it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.report import (
+    Diagnostic,
+    E_BAD_TARGET,
+    E_EMPTY_PROGRAM,
+    E_NO_HALT,
+    W_DEAD_CODE,
+    W_FALL_OFF_END,
+    W_RETURN_WITHOUT_CALL,
+)
+from repro.isa.instructions import OpClass
+from repro.isa.program import Program
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions ``[start, end)``."""
+
+    bid: int
+    start: int
+    end: int
+    successors: Tuple[int, ...] = ()
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class CFG:
+    """Basic blocks, edges and reachability of one program."""
+
+    program: Program
+    blocks: List[BasicBlock] = field(default_factory=list)
+    block_of: Dict[int, int] = field(default_factory=dict)  # index -> bid
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    reachable: Set[int] = field(default_factory=set)        # bids
+
+    def predecessors(self, bid: int) -> List[int]:
+        return [b.bid for b in self.blocks if bid in b.successors]
+
+    def reachable_indices(self) -> Set[int]:
+        """Instruction indices inside reachable blocks."""
+        out: Set[int] = set()
+        for bid in self.reachable:
+            out.update(self.blocks[bid].indices())
+        return out
+
+
+def _validated_target(program: Program, index: int,
+                      diagnostics: List[Diagnostic]) -> int:
+    inst = program.instructions[index]
+    target = inst.target
+    if target is None or not 0 <= target < len(program.instructions):
+        diagnostics.append(Diagnostic(
+            E_BAD_TARGET,
+            f"{inst.opcode} target {target!r} outside program "
+            f"[0, {len(program.instructions)})",
+            index=index, pc=program.pc_of(index)))
+        return -1
+    return target
+
+
+def build_cfg(program: Program) -> CFG:
+    """Construct the CFG, validating targets and halt reachability."""
+    cfg = CFG(program=program)
+    instructions = program.instructions
+    n = len(instructions)
+    if n == 0:
+        cfg.diagnostics.append(Diagnostic(
+            E_EMPTY_PROGRAM, "program has no instructions"))
+        return cfg
+
+    call_returns = [i + 1 for i, inst in enumerate(instructions)
+                    if inst.opclass == OpClass.CALL and i + 1 < n]
+
+    # Leaders: entry, every control target, every post-control index.
+    leaders = {0}
+    targets: Dict[int, int] = {}
+    for i, inst in enumerate(instructions):
+        cls = inst.opclass
+        if cls in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL):
+            t = _validated_target(program, i, cfg.diagnostics)
+            targets[i] = t
+            if t >= 0:
+                leaders.add(t)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif cls in (OpClass.RETURN, OpClass.HALT):
+            if i + 1 < n:
+                leaders.add(i + 1)
+    ordered = sorted(leaders)
+
+    # Blocks and the index -> block map.
+    for bid, start in enumerate(ordered):
+        end = ordered[bid + 1] if bid + 1 < len(ordered) else n
+        block = BasicBlock(bid=bid, start=start, end=end)
+        cfg.blocks.append(block)
+        for i in range(start, end):
+            cfg.block_of[i] = bid
+
+    # Successor edges from each block's terminator.
+    for block in cfg.blocks:
+        last = block.end - 1
+        inst = instructions[last]
+        cls = inst.opclass
+        succs: List[int] = []
+        if cls == OpClass.BRANCH:
+            t = targets[last]
+            if t >= 0:
+                succs.append(cfg.block_of[t])
+            if block.end < n:
+                succs.append(cfg.block_of[block.end])
+        elif cls in (OpClass.JUMP, OpClass.CALL):
+            t = targets[last]
+            if t >= 0:
+                succs.append(cfg.block_of[t])
+        elif cls == OpClass.RETURN:
+            if call_returns:
+                succs.extend(cfg.block_of[i] for i in call_returns)
+            else:
+                cfg.diagnostics.append(Diagnostic(
+                    W_RETURN_WITHOUT_CALL,
+                    f"{inst.opcode} with no call site in the program",
+                    index=last, pc=program.pc_of(last)))
+        elif cls == OpClass.HALT:
+            pass
+        else:
+            if block.end < n:
+                succs.append(cfg.block_of[block.end])
+            else:
+                cfg.diagnostics.append(Diagnostic(
+                    W_FALL_OFF_END,
+                    "execution can fall off the end of the program "
+                    "(no halt on this path)",
+                    index=last, pc=program.pc_of(last)))
+        # Dedupe while preserving order.
+        block.successors = tuple(dict.fromkeys(succs))
+
+    # Reachability from the entry block.
+    work = [0]
+    while work:
+        bid = work.pop()
+        if bid in cfg.reachable:
+            continue
+        cfg.reachable.add(bid)
+        work.extend(cfg.blocks[bid].successors)
+
+    for block in cfg.blocks:
+        if block.bid not in cfg.reachable:
+            cfg.diagnostics.append(Diagnostic(
+                W_DEAD_CODE,
+                f"unreachable block of {len(block)} instruction(s) "
+                f"at indices [{block.start}, {block.end})",
+                index=block.start, pc=program.pc_of(block.start)))
+
+    halt_reachable = any(
+        instructions[i].opclass == OpClass.HALT
+        for bid in cfg.reachable
+        for i in cfg.blocks[bid].indices())
+    if not halt_reachable:
+        cfg.diagnostics.append(Diagnostic(
+            E_NO_HALT, "no halt instruction is reachable from the entry"))
+    return cfg

@@ -1,0 +1,74 @@
+"""Pass orchestration: one call from a program to its analysis report.
+
+``analyze_program`` runs CFG construction, the dataflow fixpoints and the
+static memory pass, and folds every diagnostic into one
+:class:`~repro.analysis.report.AnalysisReport`.  ``verify_program`` is
+the raising wrapper used by ``Workload.program(verify=True)`` and the
+``--strict`` CLI: it turns a dirty report into :class:`AnalysisError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import analyze_dataflow
+from repro.analysis.memdep import analyze_memory
+from repro.analysis.report import AnalysisReport, Severity
+
+_SEVERITY_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+class AnalysisError(ValueError):
+    """A program failed static verification; carries the full report."""
+
+    def __init__(self, report: AnalysisReport, strict: bool = False) -> None:
+        blocking = report.errors + (report.warnings if strict else [])
+        summary = "; ".join(d.message for d in blocking[:3])
+        if len(blocking) > 3:
+            summary += f"; … {len(blocking) - 3} more"
+        super().__init__(
+            f"program {report.name!r} failed static analysis "
+            f"({len(report.errors)} error(s), {len(report.warnings)} "
+            f"warning(s)): {summary}")
+        self.report = report
+
+
+def analyze_program(program) -> AnalysisReport:
+    """Run every static pass over an assembled program."""
+    cfg = build_cfg(program)
+    report = AnalysisReport(
+        name=program.name,
+        instructions=len(program.instructions),
+        blocks=len(cfg.blocks),
+    )
+    report.diagnostics.extend(cfg.diagnostics)
+    dataflow = analyze_dataflow(cfg)
+    report.diagnostics.extend(dataflow.diagnostics)
+    memory = analyze_memory(cfg, dataflow)
+    report.diagnostics.extend(memory.diagnostics)
+    report.loads = len(memory.load_pcs)
+    report.stores = len(memory.store_pcs)
+    report.rar_pairs = sorted(memory.rar_pairs)
+    report.raw_pairs = sorted(memory.raw_pairs)
+    report.addresses = {
+        pc: desc.to_json_dict() for pc, desc in memory.descriptors.items()
+    }
+    report.diagnostics.sort(
+        key=lambda d: (_SEVERITY_ORDER[d.severity],
+                       d.index if d.index is not None else -1, d.code))
+    return report
+
+
+def verify_program(program, strict: bool = False,
+                   report: Optional[AnalysisReport] = None) -> AnalysisReport:
+    """Analyze and raise :class:`AnalysisError` unless the program is clean.
+
+    ``strict`` also rejects warnings; a pre-computed ``report`` skips
+    re-analysis (the ``Workload`` cache hands one in).
+    """
+    if report is None:
+        report = analyze_program(program)
+    if not report.ok(strict=strict):
+        raise AnalysisError(report, strict=strict)
+    return report

@@ -102,6 +102,20 @@ def _predictors_config() -> dict:
             "predictors": ["last_value", "stride"]}
 
 
+def _analysis_config() -> dict:
+    from repro.analysis.__main__ import JSON_SCHEMA_VERSION
+
+    return {"analyzer_schema": JSON_SCHEMA_VERSION}
+
+
+def _static_ddt_config() -> dict:
+    from repro.analysis.__main__ import JSON_SCHEMA_VERSION
+    from repro.experiments.ext_static_ddt import MISS_LIMIT
+
+    return {"analyzer_schema": JSON_SCHEMA_VERSION,
+            "ddt": "infinite", "miss_limit": MISS_LIMIT}
+
+
 #: Paper order; ``summary_multiplier`` mirrors ``summary.ARTEFACTS`` (the
 #: timing experiments run at a reduced default scale).
 ARTEFACTS: Dict[str, ArtefactSpec] = {
@@ -129,6 +143,11 @@ ARTEFACTS: Dict[str, ArtefactSpec] = {
                      "Extension: distances", 1.0, _distance_config),
         ArtefactSpec("ext_predictors", "repro.experiments.ext_predictors",
                      "Extension: predictors", None, _predictors_config),
+        ArtefactSpec("ext_static_ddt", "repro.experiments.ext_static_ddt",
+                     "Extension: static vs dynamic DDT", None,
+                     _static_ddt_config),
+        ArtefactSpec("analysis", "repro.analysis.artefact",
+                     "Static analysis", None, _analysis_config),
     )
 }
 

@@ -24,7 +24,7 @@ may appear on their own line or prefix a statement.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.isa.instructions import Instruction, OpClass
 from repro.isa.program import DATA_BASE, WORD_SIZE, Program
@@ -32,12 +32,26 @@ from repro.isa.registers import RETURN_ADDRESS, parse_register
 
 
 class AssemblyError(ValueError):
-    """Raised on any syntax or semantic error, with the offending line."""
+    """Raised on any syntax or semantic error, with the offending line.
 
-    def __init__(self, message: str, line_no: int, line: str) -> None:
-        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+    ``name`` identifies the program being assembled (the workload abbrev
+    for kernels) so suite-wide tooling — the static analyzer's CLI, the
+    harness — can say *which* kernel failed, not just on which line.
+    """
+
+    def __init__(self, message: str, line_no: int, line: str,
+                 name: Optional[str] = None) -> None:
+        prefix = f"{name}: " if name else ""
+        super().__init__(
+            f"{prefix}line {line_no}: {message}: {line.strip()!r}")
+        self.message = message
         self.line_no = line_no
         self.line = line
+        self.name = name
+
+    def with_name(self, name: str) -> "AssemblyError":
+        """A copy of this error attributed to program ``name``."""
+        return AssemblyError(self.message, self.line_no, self.line, name=name)
 
 
 _MEM_OPERAND = re.compile(r"^(-?\d+)?\(([rf]\d+)\)$")
@@ -131,6 +145,15 @@ class _Statement:
 
 def assemble(source: str, name: str = "<anonymous>") -> Program:
     """Assemble ``source`` into a :class:`~repro.isa.program.Program`."""
+    try:
+        return _assemble(source, name)
+    except AssemblyError as exc:
+        if exc.name is None and name != "<anonymous>":
+            raise exc.with_name(name) from None
+        raise
+
+
+def _assemble(source: str, name: str) -> Program:
     labels: Dict[str, int] = {}
     data: Dict[int, object] = {}
     data_labels: Dict[str, int] = {}
@@ -208,6 +231,7 @@ def assemble(source: str, name: str = "<anonymous>") -> Program:
         data=data,
         data_labels=data_labels,
         name=name,
+        data_end=data_cursor,
     )
 
 

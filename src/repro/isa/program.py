@@ -28,6 +28,10 @@ class Program:
     data_labels: Dict[str, int] = field(default_factory=dict)
     text_base: int = TEXT_BASE
     name: str = "<anonymous>"
+    #: First byte address past the assembled data image (``.word``,
+    #: ``.float`` and ``.space`` all advance it); static analysis uses it
+    #: as the upper bound of the last labelled region.
+    data_end: int = DATA_BASE
 
     def __len__(self) -> int:
         return len(self.instructions)

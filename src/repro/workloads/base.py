@@ -32,17 +32,41 @@ class Workload:
     _program_cache: Dict[float, Program] = field(
         default_factory=dict, repr=False, compare=False, hash=False
     )
+    _analysis_cache: Dict[float, object] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if self.category not in ("int", "fp"):
             raise ValueError(f"category must be 'int' or 'fp', got {self.category!r}")
 
-    def program(self, scale: float = 1.0) -> Program:
-        """Assemble (and cache) the kernel at the given scale."""
-        if scale not in self._program_cache:
+    def program(self, scale: float = 1.0, verify: bool = False) -> Program:
+        """Assemble (and cache) the kernel at the given scale.
+
+        The cache key is the scale rounded to 9 decimal places: scales
+        that differ only by float-parsing noise (``0.1`` vs
+        ``0.1 + 1e-12`` from CLI arithmetic) must hit the same entry
+        instead of double-assembling.  With ``verify=True`` the assembled
+        program must additionally pass the static analyzer
+        (:func:`repro.analysis.verify_program`); the analysis report is
+        cached alongside the program, so repeated verified calls analyze
+        once.
+        """
+        key = round(float(scale), 9)
+        program = self._program_cache.get(key)
+        if program is None:
             source = self.builder(scale)
-            self._program_cache[scale] = assemble(source, name=self.abbrev)
-        return self._program_cache[scale]
+            program = assemble(source, name=self.abbrev)
+            self._program_cache[key] = program
+        if verify:
+            from repro.analysis import analyze_program, verify_program
+
+            report = self._analysis_cache.get(key)
+            if report is None:
+                report = analyze_program(program)
+                self._analysis_cache[key] = report
+            verify_program(program, report=report)
+        return program
 
     def trace(
         self, scale: float = 1.0, max_instructions: Optional[int] = None

@@ -1,0 +1,239 @@
+"""Unit tests for the static analyzer: CFG, dataflow and the memory pass."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    analyze_program,
+    build_cfg,
+    data_regions,
+    verify_program,
+)
+from repro.analysis.report import (
+    E_BAD_TARGET,
+    E_EMPTY_PROGRAM,
+    E_MISALIGNED,
+    E_NEVER_WRITTEN,
+    E_NO_HALT,
+    E_OUT_OF_BOUNDS,
+    I_MAYBE_UNINIT,
+    W_DEAD_CODE,
+    W_FALL_OFF_END,
+    W_REGION_CROSS,
+    W_RETURN_WITHOUT_CALL,
+)
+from repro.isa import assemble
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import DATA_BASE, Program
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        cfg = build_cfg(assemble("li r1, 1\nadd r2, r1, r1\nhalt"))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == ()
+        assert cfg.reachable == {0}
+
+    def test_backward_branch_makes_a_loop(self):
+        program = assemble(
+            "li r1, 0\nli r2, 3\n"
+            "loop: addi r1, r1, 1\nblt r1, r2, loop\nhalt")
+        cfg = build_cfg(program)
+        loop_bid = cfg.block_of[2]
+        assert loop_bid in cfg.blocks[loop_bid].successors      # back edge
+        assert cfg.block_of[4] in cfg.blocks[loop_bid].successors
+        assert not cfg.diagnostics
+
+    def test_unreachable_tail_block_flagged(self):
+        report = analyze_program(assemble("j end\nnop\nnop\nend: halt"))
+        assert W_DEAD_CODE in codes(report)
+        assert not report.errors
+
+    def test_call_and_return_edges(self):
+        program = assemble("jal f\nhalt\nf: nop\njr r31")
+        cfg = build_cfg(program)
+        entry = cfg.blocks[cfg.block_of[0]]
+        callee_bid = cfg.block_of[2]
+        assert entry.successors == (callee_bid,)
+        ret = cfg.blocks[cfg.block_of[3]]
+        assert cfg.block_of[1] in ret.successors    # back to the call site
+        assert cfg.reachable == set(cfg.block_of.values())
+        assert not build_cfg(program).diagnostics
+
+    def test_return_without_call_warns(self):
+        report = analyze_program(assemble("li r31, 4096\njr r31\nhalt"))
+        assert W_RETURN_WITHOUT_CALL in codes(report)
+        # the halt after jr is unreachable too
+        assert W_DEAD_CODE in codes(report)
+
+    def test_no_reachable_halt_is_an_error(self):
+        report = analyze_program(assemble("loop: j loop\nhalt"))
+        assert E_NO_HALT in codes(report)
+        assert not report.ok()
+
+    def test_fall_off_end_warns(self):
+        report = analyze_program(assemble("li r1, 1\nadd r2, r1, r1"))
+        assert W_FALL_OFF_END in codes(report)
+        assert E_NO_HALT in codes(report)
+
+    def test_empty_program(self):
+        report = analyze_program(Program(instructions=()))
+        assert codes(report) == [E_EMPTY_PROGRAM]
+
+    def test_corrupt_branch_target_is_an_error(self):
+        # Unreachable through the assembler (labels always resolve), so
+        # build the mangled program directly.
+        program = Program(instructions=(
+            Instruction("j", OpClass.JUMP, target=99),
+            Instruction("halt", OpClass.HALT),
+        ))
+        report = analyze_program(program)
+        assert E_BAD_TARGET in codes(report)
+
+
+class TestDataflow:
+    def test_never_written_register_is_an_error(self):
+        report = analyze_program(assemble("add r1, r2, r3\nhalt"))
+        errors = [d for d in report.errors if d.code == E_NEVER_WRITTEN]
+        assert len(errors) == 2                     # r2 and r3, once each
+        with pytest.raises(AnalysisError):
+            verify_program(assemble("add r1, r2, r3\nhalt"))
+
+    def test_loop_carried_read_is_informational_only(self):
+        report = analyze_program(assemble(
+            "li r3, 3\nloop: addi r1, r1, 1\nblt r1, r3, loop\nhalt"))
+        assert I_MAYBE_UNINIT in codes(report)
+        assert report.ok(strict=True)               # info never gates
+
+    def test_r0_reads_are_always_defined(self):
+        report = analyze_program(assemble("add r1, r0, r0\nhalt"))
+        assert not report.diagnostics
+
+    def test_jal_defines_the_return_register(self):
+        report = analyze_program(assemble("jal f\nhalt\nf: jr r31"))
+        assert E_NEVER_WRITTEN not in codes(report)
+        assert I_MAYBE_UNINIT not in codes(report)
+
+    def test_branch_dependent_write_is_not_definite(self):
+        report = analyze_program(assemble(
+            "li r1, 1\nbeq r1, r0, skip\nli r2, 5\n"
+            "skip: add r3, r2, r1\nhalt"))
+        assert I_MAYBE_UNINIT in codes(report)
+
+
+class TestMemoryPass:
+    def test_data_regions_cover_space_directives(self):
+        program = assemble(
+            ".data\na: .word 1, 2\nbuf: .space 3\nb: .float 0.5\n"
+            ".text\nhalt")
+        regions = {r.label: (r.lo, r.hi) for r in data_regions(program)}
+        assert regions["a"] == (DATA_BASE, DATA_BASE + 8)
+        assert regions["buf"] == (DATA_BASE + 8, DATA_BASE + 20)
+        assert regions["b"] == (DATA_BASE + 20, DATA_BASE + 24)
+        assert program.data_end == DATA_BASE + 24
+
+    def test_out_of_bounds_exact_address(self):
+        report = analyze_program(assemble(
+            ".data\nbuf: .space 4\n.text\nla r1, buf\nlw r2, 64(r1)\nhalt"))
+        assert E_OUT_OF_BOUNDS in codes(report)
+
+    def test_misaligned_word_access(self):
+        report = analyze_program(assemble(
+            ".data\nx: .word 1\n.text\nla r1, x\nlw r2, 2(r1)\nhalt"))
+        assert E_MISALIGNED in codes(report)
+
+    def test_region_cross_warns(self):
+        report = analyze_program(assemble(
+            ".data\na: .word 1\nb: .word 2\n.text\n"
+            "la r1, a\nlw r2, 4(r1)\nhalt"))
+        assert W_REGION_CROSS in codes(report)
+        assert not report.errors
+
+    def test_in_bounds_accesses_are_clean(self):
+        report = analyze_program(assemble(
+            ".data\nt: .word 1, 2, 3, 4\n.text\n"
+            "la r1, t\nlw r2, 0(r1)\nlw r3, 12(r1)\nsw r3, 4(r1)\nhalt"))
+        assert not report.diagnostics
+
+    def test_walked_pointer_stays_in_its_region(self):
+        # r1 is advanced in a loop: offset becomes unknown, the access
+        # degrades to region granularity but keeps its label.
+        program = assemble(
+            ".data\nt: .word 1, 2, 3, 4\nother: .word 9\n.text\n"
+            "la r1, t\nli r2, 4\n"
+            "loop: lw r3, 0(r1)\naddi r1, r1, 4\naddi r2, r2, -1\n"
+            "bgtz r2, loop\nla r4, other\nlw r5, 0(r4)\nhalt")
+        report = analyze_program(program)
+        walked_pc = program.pc_of(2)
+        other_pc = program.pc_of(7)
+        assert report.addresses[walked_pc]["kind"] == "region"
+        assert report.addresses[walked_pc]["label"] == "t"
+        # the region-typed load and the exact 'other' load do not alias
+        assert (walked_pc, other_pc) not in report.rar_pairs
+        assert (walked_pc, walked_pc) in report.rar_pairs   # self-RAR
+
+    def test_word_granularity_aliasing(self):
+        # A byte load and a word load of the same word must pair (the
+        # DDT is word-granular), while the next word does not.
+        program = assemble(
+            ".data\nx: .word 1\ny: .word 2\n.text\n"
+            "la r1, x\nlb r2, 1(r1)\nlw r3, 0(r1)\n"
+            "la r4, y\nlw r5, 0(r4)\nhalt")
+        report = analyze_program(program)
+        byte_pc, word_pc, y_pc = (program.pc_of(i) for i in (1, 2, 4))
+        assert (byte_pc, word_pc) in report.rar_pairs
+        assert (word_pc, byte_pc) in report.rar_pairs
+        assert (byte_pc, y_pc) not in report.rar_pairs
+
+    def test_unknown_base_aliases_everything(self):
+        # A pointer loaded from memory is unknown: it may alias any load.
+        program = assemble(
+            ".data\np: .word 1048576\nq: .word 7\n.text\n"
+            "la r1, p\nlw r2, 0(r1)\nlw r3, 0(r2)\n"
+            "la r4, q\nlw r5, 0(r4)\nhalt")
+        report = analyze_program(program)
+        chased_pc, q_pc = program.pc_of(2), program.pc_of(4)
+        assert report.addresses[chased_pc]["kind"] == "unknown"
+        assert (chased_pc, q_pc) in report.rar_pairs
+
+    def test_raw_pairs_are_store_to_load(self):
+        program = assemble(
+            ".data\nacc: .word 0\n.text\n"
+            "la r1, acc\nlw r2, 0(r1)\naddi r2, r2, 1\nsw r2, 0(r1)\nhalt")
+        report = analyze_program(program)
+        load_pc, store_pc = program.pc_of(1), program.pc_of(3)
+        assert (store_pc, load_pc) in report.raw_pairs
+        assert (load_pc, store_pc) not in report.raw_pairs
+
+
+class TestVerifier:
+    def test_verify_clean_program_returns_report(self):
+        report = verify_program(assemble("li r1, 1\nhalt"))
+        assert report.ok(strict=True)
+
+    def test_strict_rejects_warnings(self):
+        program = assemble("j end\nnop\nend: halt")   # dead code warning
+        verify_program(program)                       # errors only: fine
+        with pytest.raises(AnalysisError) as excinfo:
+            verify_program(program, strict=True)
+        assert excinfo.value.report.warnings
+
+    def test_error_message_names_the_program(self):
+        program = assemble("loop: j loop\nhalt", name="spin")
+        with pytest.raises(AnalysisError) as excinfo:
+            verify_program(program)
+        assert "spin" in str(excinfo.value)
+
+    def test_json_dict_schema(self):
+        payload = analyze_program(
+            assemble("li r1, 1\nhalt", name="tiny")).to_json_dict()
+        assert set(payload) == {
+            "name", "instructions", "blocks", "loads", "stores", "errors",
+            "warnings", "diagnostics", "rar_pairs", "raw_pairs", "addresses",
+        }
+        assert payload["name"] == "tiny"
+        assert payload["errors"] == 0

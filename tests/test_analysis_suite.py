@@ -1,0 +1,64 @@
+"""The suite-wide structural gate: every kernel must lint clean.
+
+This is the bar any future kernel has to clear — zero analyzer errors
+*and* zero warnings at small, paper-quarter and full scale — plus the
+static-vs-dynamic cross-validation acceptance threshold on the
+pointer-chasing kernels.
+"""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.experiments import ext_static_ddt
+from repro.harness.store import rows_from_payload, rows_to_payload
+from repro.workloads import all_workloads, get_workload
+
+GATE_SCALES = (0.05, 0.25, 1.0)
+
+
+@pytest.mark.parametrize("scale", GATE_SCALES)
+@pytest.mark.parametrize("abbrev", [w.abbrev for w in all_workloads()])
+def test_kernel_lints_clean(abbrev, scale):
+    report = analyze_program(get_workload(abbrev).program(scale))
+    assert not report.errors and not report.warnings, (
+        f"kernel {abbrev!r} at scale {scale} fails the structural gate:\n"
+        + report.render())
+
+
+@pytest.mark.parametrize("scale", GATE_SCALES)
+@pytest.mark.parametrize("abbrev", [w.abbrev for w in all_workloads()])
+def test_kernel_assembles_under_verify(abbrev, scale):
+    # The opt-in hook the harness and experiments use.
+    program = get_workload(abbrev).program(scale, verify=True)
+    assert len(program.instructions) > 0
+
+
+class TestCrossValidation:
+    """ext_static_ddt: static pair sets against the dynamic DDT."""
+
+    def test_pointer_chasing_kernels_meet_the_coverage_bar(self):
+        rows = ext_static_ddt.run(scale=0.25, workloads=["li", "gcc", "per"])
+        for row in rows:
+            assert row.dyn_rar > 0, f"{row.abbrev}: no dynamic RAR pairs?"
+            assert row.rar_coverage >= 0.90, (
+                f"{row.abbrev}: static RAR coverage {row.rar_coverage:.1%} "
+                f"below the 90% acceptance bar; missing {row.missing_rar}")
+            assert row.raw_coverage >= 0.90, (
+                f"{row.abbrev}: static RAW coverage {row.raw_coverage:.1%}; "
+                f"missing {row.missing_raw}")
+
+    def test_static_sets_overapproximate(self):
+        # May-analysis: static counts bound the distinct dynamic pairs.
+        for row in ext_static_ddt.run(scale=0.05, workloads=["li", "com"]):
+            assert row.static_rar >= row.dyn_rar
+            assert row.static_raw >= row.dyn_raw
+            assert 0.0 <= row.rar_tightness <= 1.0
+
+    def test_rows_round_trip_through_the_store_payload(self):
+        rows = ext_static_ddt.run(scale=0.05, workloads=["li"])
+        rebuilt = rows_from_payload(rows_to_payload(rows))
+        assert rebuilt == rows
+
+    def test_render_mentions_coverage(self):
+        rows = ext_static_ddt.run(scale=0.05, workloads=["li"])
+        assert "cover" in ext_static_ddt.render(rows)

@@ -141,3 +141,26 @@ class TestErrors:
         with pytest.raises(AssemblyError) as excinfo:
             assemble("nop\nbogus r1\nhalt")
         assert excinfo.value.line_no == 2
+
+    def test_error_names_the_program(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("nop\nbogus r1\nhalt", name="lisp")
+        err = excinfo.value
+        assert err.name == "lisp"
+        assert str(err).startswith("lisp: ")
+        assert "bogus" in str(err)
+        assert err.line_no == 2
+
+    def test_anonymous_error_has_no_name_prefix(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("bogus r1\nhalt")
+        assert excinfo.value.name is None
+        assert not str(excinfo.value).startswith("<anonymous>")
+
+    def test_with_name_rewraps(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("bogus r1\nhalt")
+        renamed = excinfo.value.with_name("ker")
+        assert renamed.name == "ker"
+        assert str(renamed).startswith("ker: ")
+        assert renamed.line_no == excinfo.value.line_no

@@ -42,6 +42,28 @@ class TestRegistry:
             assert plan.timing >= 1
 
 
+class TestProgramCache:
+    def test_same_scale_hits_the_cache(self):
+        workload = get_workload("li")
+        assert workload.program(0.25) is workload.program(0.25)
+
+    def test_float_noise_does_not_fork_the_cache(self):
+        # 0.1 + 0.2 != 0.3 exactly; the cache key rounds so equivalent
+        # scales share one assembled program.
+        workload = get_workload("li")
+        assert workload.program(0.25) is workload.program(0.25 + 1e-12)
+        assert workload.program(0.1 + 0.2) is workload.program(0.3)
+
+    def test_distinct_scales_stay_distinct(self):
+        workload = get_workload("li")
+        assert workload.program(0.05) is not workload.program(0.25)
+
+    def test_verify_hook_returns_the_cached_program(self):
+        workload = get_workload("gcc")
+        plain = workload.program(TINY)
+        assert workload.program(TINY, verify=True) is plain
+
+
 @pytest.mark.parametrize("abbrev", [w.abbrev for w in all_workloads()])
 class TestEveryWorkload:
     def test_runs_and_halts(self, abbrev):
