@@ -44,15 +44,21 @@ def main(argv=None) -> int:
         print("static kernel verification: "
               "python -m repro analysis suite --strict "
               "(alias of python -m repro.analysis)")
+        print("fault injection + invariant oracle: "
+              "python -m repro chaos --campaign smoke "
+              "(alias of python -m repro.chaos)")
         return 0
     name = argv.pop(0)
     if name == "all":
         name = "summary"
-    if name == "analysis":
-        from repro.analysis.__main__ import main as analysis_main
+    if name in ("analysis", "chaos"):
+        if name == "analysis":
+            from repro.analysis.__main__ import main as sub_main
+        else:
+            from repro.chaos.__main__ import main as sub_main
 
         try:
-            return analysis_main(argv)
+            return sub_main(argv)
         except SystemExit as exc:
             code = exc.code
             if code is None:

@@ -1,0 +1,179 @@
+"""``python -m repro.chaos`` — shake the system and check the invariant.
+
+    python -m repro.chaos --campaign smoke
+    python -m repro.chaos --campaign full --seed 7 --workers 8
+    python -m repro.chaos --layers predictor --workloads li com --scale 0.1
+    python -m repro.chaos --workloads li --scale 0.05 --seed 1999 \\
+        --site 412 --fault bitflip-sf          # reproduce one injection
+
+The predictor layer drives seeded faults into live cloaking state and
+checks, against a golden functional run, that committed architectural
+state never changes (the paper's Section 3.4 invariant); any violation
+prints a minimized repro command.  The trace, store and harness layers
+are graceful-degradation drills: corruption must be contained, named and
+recovered from, never silently absorbed.  Exit status is non-zero when
+any invariant violation or ungraceful degradation was observed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.chaos.campaign import (
+    CAMPAIGNS,
+    DEFAULT_SEED,
+    DrillResult,
+    run_drills,
+)
+from repro.chaos.inject import PREDICTOR_FAULTS
+from repro.chaos.oracle import first_violation, run_oracle
+from repro.chaos import artefact
+
+LAYERS = ("predictor", "trace", "store", "harness")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--campaign", choices=sorted(CAMPAIGNS),
+                        default="smoke",
+                        help="preset scale/injection budget "
+                             "(default %(default)s)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="campaign seed (default %(default)s)")
+    parser.add_argument("--faults", nargs="*", default=None,
+                        metavar="MODEL", choices=PREDICTOR_FAULTS,
+                        help="predictor fault models (default: all of "
+                             + ", ".join(PREDICTOR_FAULTS) + ")")
+    parser.add_argument("--layers", nargs="*", default=None,
+                        metavar="LAYER", choices=LAYERS,
+                        help="layers to shake (default: all of "
+                             + ", ".join(LAYERS) + ")")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default: the campaign's)")
+    parser.add_argument("--injections", type=int, default=None,
+                        help="predictor injection sites per kernel "
+                             "(default: the campaign's)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        metavar="ABBREV",
+                        help="subset of workload abbreviations")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the predictor layer "
+                             "(default %(default)s = inline)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result store for the predictor layer "
+                             "(default: results/store)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every kernel campaign")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write per-kernel rows as JSON")
+    parser.add_argument("--site", type=int, default=None,
+                        help="reproduce a single injection at this "
+                             "dynamic-instruction site (needs --fault and "
+                             "exactly one --workloads entry)")
+    parser.add_argument("--fault", default=None, choices=PREDICTOR_FAULTS,
+                        help="fault model for --site")
+    return parser
+
+
+def _repro_single(args) -> int:
+    """Reproduce one injection exactly as a violation's repro command."""
+    from repro.chaos.campaign import fault_seed
+    from repro.workloads.suite import get_workload
+
+    if args.fault is None or not args.workloads \
+            or len(args.workloads) != 1:
+        print("--site needs --fault and exactly one --workloads entry",
+              file=sys.stderr)
+        return 2
+    workload = get_workload(args.workloads[0])
+    scale = args.scale if args.scale is not None \
+        else CAMPAIGNS[args.campaign].scale
+    outcome = run_oracle(
+        workload, scale, [(args.site, args.fault)],
+        fault_seed(args.seed, workload.abbrev, args.site, args.fault))
+    applied = outcome.applied[0] if outcome.applied else None
+    print(f"workload:     {workload.abbrev} @ scale {scale:g}")
+    print(f"fault:        {args.fault} @ site {args.site}")
+    landed = applied.target if applied is not None else None
+    print(f"landed on:    {landed or 'no-op (no eligible state at site)'}")
+    print(f"instructions: {outcome.instructions}")
+    print(f"speculated:   {outcome.speculated} "
+          f"({outcome.misspeculated} wrong)")
+    violation = first_violation(workload, scale, args.seed, outcome)
+    if violation is None:
+        print("invariant:    HELD (committed state identical to golden run)")
+        return 0
+    print(f"invariant:    VIOLATED at {violation.divergence}")
+    return 1
+
+
+def _render_drill(drill: DrillResult) -> List[str]:
+    verdict = "ok" if drill.ok else "FAILED"
+    lines = [f"{drill.layer:9s} {drill.graceful}/{drill.cases} graceful "
+             f"[{verdict}]"]
+    lines.extend(f"    {text}" for text in drill.failed)
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.site is not None:
+        return _repro_single(args)
+
+    campaign = CAMPAIGNS[args.campaign]
+    scale = args.scale if args.scale is not None else campaign.scale
+    injections = (args.injections if args.injections is not None
+                  else campaign.injections)
+    layers = tuple(args.layers) if args.layers else LAYERS
+
+    rows = []
+    failures = 0
+    if "predictor" in layers:
+        from repro.harness.api import run_artefacts
+        from repro.harness.store import ResultStore
+
+        params = {"seed": args.seed, "injections": injections}
+        if args.faults:
+            params["faults"] = tuple(args.faults)
+        outcome = run_artefacts(
+            [("chaos", scale, params)], args.workloads,
+            workers=args.workers, store=ResultStore(args.store),
+            use_cache=not args.no_cache, allow_failures=True)
+        rows = outcome.runs[0].rows
+        print(artefact.render(rows))
+        print()
+        for label in outcome.runs[0].failed:
+            print(f"FAILED chaos/{label} (cell never produced rows)",
+                  file=sys.stderr)
+        failures += len(outcome.runs[0].failed)
+        if args.json:
+            from repro.harness.store import write_rows_json
+
+            write_rows_json(args.json, rows)
+
+    drills = run_drills([layer for layer in layers if layer != "predictor"],
+                        seed=args.seed)
+
+    print(f"chaos report card (campaign {campaign.name}, seed {args.seed})")
+    if "predictor" in layers:
+        injected = sum(row.injected for row in rows)
+        detected = sum(row.detected for row in rows)
+        recovered = sum(row.recovered for row in rows)
+        violated = sum(row.violated for row in rows)
+        print(f"predictor {injected} injected, {detected} detected, "
+              f"{recovered} recovered, {violated} violated")
+        failures += violated
+    for drill in drills:
+        for line in _render_drill(drill):
+            print(line)
+        failures += len(drill.failed)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

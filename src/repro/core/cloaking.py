@@ -59,11 +59,16 @@ class ObservedAccess(NamedTuple):
     a speculative value through that synonym; ``producer_synonym`` when the
     instruction deposited its value into the SF as a predicted producer.
     The pipeline model uses these to time speculative value availability.
+    ``spec_value`` is the value the consumer obtained from the SF when the
+    outcome is speculative — the differential oracle
+    (:mod:`repro.chaos.oracle`) uses it to model what would reach
+    architectural state if verification or recovery misbehaved.
     """
 
     outcome: LoadOutcome
     consumer_synonym: Optional[int]
     producer_synonym: Optional[int]
+    spec_value: object = None
 
 
 @dataclass
@@ -200,6 +205,7 @@ class CloakingEngine:
         outcome = LoadOutcome.NOT_PREDICTED
         consumed: Optional[int] = None
         produced: Optional[int] = None
+        spec_value: object = None
 
         # 1. Consumer prediction: obtain a speculative value via the synonym.
         #    The prediction is always *made and verified* when a value is
@@ -226,6 +232,7 @@ class CloakingEngine:
                     entry.consumer.on_wrong()
                 if use_value:
                     consumed = entry.synonym
+                    spec_value = sf_entry.value
                     if correct:
                         outcome = (LoadOutcome.CORRECT_RAW if sf_entry.from_store
                                    else LoadOutcome.CORRECT_RAR)
@@ -247,7 +254,7 @@ class CloakingEngine:
             self._note_dependence(dep)
 
         self.stats.record(outcome)
-        return ObservedAccess(outcome, consumed, produced)
+        return ObservedAccess(outcome, consumed, produced, spec_value)
 
     def _mode_allows(self, dep: Dependence) -> bool:
         if dep.kind == DependenceKind.RAW:

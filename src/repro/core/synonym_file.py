@@ -84,3 +84,7 @@ class SynonymFile:
     def probe(self, synonym: int) -> Optional[SFEntry]:
         """The entry for a synonym, or ``None`` (miss / evicted)."""
         return self._table.get(synonym)
+
+    def entries(self):
+        """Iterate ``(synonym, SFEntry)`` pairs (diagnostics / fault injection)."""
+        return self._table.items()

@@ -140,9 +140,13 @@ def _cmd_status(args) -> int:
     store = ResultStore(args.store)
     objects = store.objects()
     manifests = store.manifests()
+    quarantined = store.quarantined()
     print(f"store:        {store.root}")
     print(f"objects:      {len(objects)} ({store.size_bytes():,} bytes)")
     print(f"manifests:    {len(manifests)}")
+    print(f"quarantined:  {len(quarantined)}")
+    for path in quarantined:
+        print(f"  {path.name}: {store.quarantine_reason(path)}")
     print(f"fingerprint:  {code_fingerprint()}")
     if manifests:
         last = RunManifest.load(manifests[-1])

@@ -69,6 +69,8 @@ def run_artefacts(requests: Sequence[tuple],
                   use_cache: bool = True,
                   timeout: Optional[float] = None,
                   retries: int = 1,
+                  term_grace: float = Scheduler.DEFAULT_TERM_GRACE,
+                  retry_backoff: float = Scheduler.DEFAULT_RETRY_BACKOFF,
                   allow_failures: bool = False,
                   manifest_path: Optional[os.PathLike] = None,
                   progress: Optional[ProgressFn] = None) -> SweepOutcome:
@@ -96,7 +98,8 @@ def run_artefacts(requests: Sequence[tuple],
         all_jobs.extend(jobs)
 
     scheduler = Scheduler(workers=workers, timeout=timeout, retries=retries,
-                          progress=progress)
+                          progress=progress, term_grace=term_grace,
+                          retry_backoff=retry_backoff)
     outcome = scheduler.run(all_jobs, store=store, use_cache=use_cache)
 
     if manifest_path is None and store is not None:

@@ -12,9 +12,29 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness.registry import ARTEFACTS, get_artefact
+
+#: Pre-execution hook invoked with the JobSpec inside the executing
+#: process (worker or inline).  Fork workers inherit it, so a hook set in
+#: the parent before ``Scheduler.run`` fires inside each child — this is
+#: the seam the chaos subsystem (and the harness tests) use to sabotage
+#: workers: crash, hang, or delay a cell without touching experiment code.
+_INJECTION_HOOK: Optional[Callable[["JobSpec"], None]] = None
+
+
+def set_injection_hook(
+        hook: Optional[Callable[["JobSpec"], None]]
+) -> Optional[Callable[["JobSpec"], None]]:
+    """Install (or clear, with ``None``) the fault-injection hook.
+
+    Returns the previously installed hook so callers can restore it.
+    """
+    global _INJECTION_HOOK
+    previous = _INJECTION_HOOK
+    _INJECTION_HOOK = hook
+    return previous
 
 
 @dataclass(frozen=True)
@@ -71,6 +91,8 @@ def expand_jobs(artefact: str, scale: float,
 
 def execute_job(spec: JobSpec) -> list:
     """Run one cell in the current process; returns the row list."""
+    if _INJECTION_HOOK is not None:
+        _INJECTION_HOOK(spec)
     module = importlib.import_module(get_artefact(spec.artefact).module)
     run_one = getattr(module, "run_one", None)
     if run_one is not None:

@@ -116,6 +116,16 @@ def _static_ddt_config() -> dict:
             "ddt": "infinite", "miss_limit": MISS_LIMIT}
 
 
+def _chaos_config() -> dict:
+    from repro.chaos.inject import PREDICTOR_FAULTS
+    from repro.chaos.oracle import ORACLE_VERSION
+    from repro.core import CloakingConfig
+
+    return {"oracle": ORACLE_VERSION,
+            "faults": list(PREDICTOR_FAULTS),
+            "cloaking": repr(CloakingConfig.paper_accuracy())}
+
+
 #: Paper order; ``summary_multiplier`` mirrors ``summary.ARTEFACTS`` (the
 #: timing experiments run at a reduced default scale).
 ARTEFACTS: Dict[str, ArtefactSpec] = {
@@ -148,6 +158,8 @@ ARTEFACTS: Dict[str, ArtefactSpec] = {
                      _static_ddt_config),
         ArtefactSpec("analysis", "repro.analysis.artefact",
                      "Static analysis", None, _analysis_config),
+        ArtefactSpec("chaos", "repro.chaos.artefact",
+                     "Chaos: fault injection", None, _chaos_config),
     )
 }
 

@@ -7,6 +7,14 @@ per-job wall-clock timeout and a bounded number of retries; whatever
 remains failed after the retry budget is recorded in the manifest with
 its traceback and the sweep continues.
 
+A worker that outlives its timeout is first sent SIGTERM; if it ignores
+that (blocked in C code, masked signals, a deliberate chaos hang) it is
+SIGKILLed after ``term_grace`` seconds — the sweep never blocks on an
+unkillable child.  Retries are spaced by exponential backoff with
+deterministic jitter (hashed from the job identity and attempt number),
+so a crashing cell does not hot-loop and repeated runs back off
+identically.
+
 ``workers=0`` executes jobs inline in the calling process (no
 subprocesses, timeouts ignored) with identical bookkeeping — that is the
 mode the plain serial ``python -m repro summary`` path uses, which is why
@@ -34,6 +42,7 @@ from repro.harness.manifest import (
     RunManifest,
 )
 from repro.harness.store import ResultStore, code_fingerprint
+from repro.util.hashing import stable_hash
 
 ProgressFn = Callable[[JobRecord], None]
 
@@ -73,19 +82,32 @@ class _Attempt:
 class Scheduler:
     """Fan a job list out over worker processes, through the store."""
 
+    #: seconds a terminated worker gets to exit before SIGKILL
+    DEFAULT_TERM_GRACE = 5.0
+    #: base retry delay (seconds); attempt N waits ~ backoff * 2**(N-1)
+    DEFAULT_RETRY_BACKOFF = 0.1
+
     def __init__(self, workers: Optional[int] = None,
                  timeout: Optional[float] = None, retries: int = 1,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 term_grace: float = DEFAULT_TERM_GRACE,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if term_grace < 0:
+            raise ValueError("term_grace must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
+        self.term_grace = term_grace
+        self.retry_backoff = retry_backoff
 
     # -- public API ------------------------------------------------------
 
@@ -114,7 +136,7 @@ class Scheduler:
                 results[spec] = cached
                 records[spec] = self._record(spec, keys[spec], STATUS_HIT)
             else:
-                pending.append((spec, 1))
+                pending.append((spec, 1, 0.0))
 
         if self.workers == 0:
             self._run_inline(pending, keys, store, results, records)
@@ -129,7 +151,10 @@ class Scheduler:
 
     def _run_inline(self, pending, keys, store, results, records) -> None:
         while pending:
-            spec, attempts = pending.popleft()
+            spec, attempts, not_before = pending.popleft()
+            delay = not_before - time.time()
+            if delay > 0:
+                time.sleep(delay)
             key = keys[spec]
             start = time.time()
             try:
@@ -151,8 +176,15 @@ class Scheduler:
         active: List[_Attempt] = []
         try:
             while pending or active:
-                while pending and len(active) < self.workers:
-                    spec, attempts = pending.popleft()
+                # Scan the queue once per round; entries still backing off
+                # rotate to the back without consuming a worker slot.
+                for _ in range(len(pending)):
+                    if len(active) >= self.workers:
+                        break
+                    spec, attempts, not_before = pending.popleft()
+                    if not_before > time.time():
+                        pending.append((spec, attempts, not_before))
+                        continue
                     recv, send = ctx.Pipe(duplex=False)
                     proc = ctx.Process(
                         target=_worker_main,
@@ -161,8 +193,11 @@ class Scheduler:
                     send.close()
                     active.append(_Attempt(spec, keys[spec], attempts,
                                            proc, recv))
-                multiprocessing.connection.wait(
-                    [attempt.conn for attempt in active], timeout=0.05)
+                if active:
+                    multiprocessing.connection.wait(
+                        [attempt.conn for attempt in active], timeout=0.05)
+                else:
+                    time.sleep(0.01)  # everything is backing off
                 still_active: List[_Attempt] = []
                 for attempt in active:
                     finished = self._reap(pending, results, records,
@@ -172,8 +207,19 @@ class Scheduler:
                 active = still_active
         finally:
             for attempt in active:
-                attempt.proc.terminate()
-                attempt.proc.join()
+                self._stop_worker(attempt.proc)
+
+    def _stop_worker(self, proc) -> None:
+        """Terminate a worker, escalating to SIGKILL if it will not die.
+
+        ``join`` after a plain ``terminate`` hangs forever on a worker
+        that ignores SIGTERM; SIGKILL cannot be ignored.
+        """
+        proc.terminate()
+        proc.join(self.term_grace)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
 
     def _reap(self, pending, results, records, attempt: _Attempt) -> bool:
         """Check one in-flight attempt; True when it has been resolved."""
@@ -209,8 +255,7 @@ class Scheduler:
             return True
         if (self.timeout is not None
                 and time.time() - attempt.started > self.timeout):
-            attempt.proc.terminate()
-            attempt.proc.join()
+            self._stop_worker(attempt.proc)
             attempt.conn.close()
             self._fail(pending, records, spec, key, attempt.attempts,
                        f"timed out after {self.timeout:g}s",
@@ -224,11 +269,21 @@ class Scheduler:
     def _fail(self, pending, records, spec, key, attempts, error,
               wall_time, worker=None) -> None:
         if attempts <= self.retries:
-            pending.append((spec, attempts + 1))
+            not_before = time.time() + self._backoff(spec, attempts)
+            pending.append((spec, attempts + 1, not_before))
             return
         records[spec] = self._record(spec, key, STATUS_FAILED,
                                      wall_time=wall_time, worker=worker,
                                      attempts=attempts, error=error)
+
+    def _backoff(self, spec: JobSpec, attempts: int) -> float:
+        """Retry delay: exponential in the attempt count, with jitter
+        hashed from the job identity so reruns back off identically."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        base = self.retry_backoff * (2 ** (attempts - 1))
+        frac = int(stable_hash((spec.label, attempts), length=8), 16)
+        return base * (0.5 + 0.5 * frac / 0xFFFFFFFF)
 
     def _record(self, spec: JobSpec, key: str, status: str,
                 wall_time: float = 0.0, worker: Optional[int] = None,

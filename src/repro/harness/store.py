@@ -14,6 +14,11 @@ or configuration change misses cleanly instead of serving stale rows.
 The row serializer (``rows_to_payload`` / ``rows_from_payload``) is also
 what the shared ``--json`` experiment flag emits, so on-disk cache
 objects and user-requested JSON exports share one format.
+
+A cached object that exists but cannot be decoded (truncation, bit rot,
+schema drift) is never served and never silently dropped: ``get`` moves
+it to ``<store>/quarantine/`` with a ``.reason`` sidecar, logs one warning
+per run, and reports a miss so the scheduler recomputes the cell.
 """
 
 from __future__ import annotations
@@ -21,10 +26,16 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import json
+import logging
 import os
 from functools import lru_cache
 from pathlib import Path
 from typing import List, Optional
+
+logger = logging.getLogger(__name__)
+
+#: store roots that already warned about quarantined objects this run
+_QUARANTINE_WARNED = set()
 
 from repro.util.hashing import stable_hash, tree_fingerprint
 
@@ -55,13 +66,24 @@ def rows_to_payload(rows: list) -> dict:
 
 
 def rows_from_payload(payload: dict) -> list:
-    """Rebuild row dataclass instances from ``rows_to_payload`` output."""
-    row_type = payload.get("row_type")
+    """Rebuild row dataclass instances from ``rows_to_payload`` output.
+
+    A payload missing the ``row_type``/``rows`` keys is malformed (schema
+    drift), not an empty result — raising here keeps ``ResultStore.get``
+    from serving a corrupt object as a legitimate zero-row cache hit.
+    """
+    try:
+        row_type = payload["row_type"]
+        rows = payload["rows"]
+    except (KeyError, TypeError):
+        raise ValueError("malformed rows payload: missing row_type/rows")
     if row_type is None:
+        if rows:
+            raise ValueError("rows payload carries rows but no row_type")
         return []
     module_name, _, class_name = row_type.partition(":")
     cls = getattr(importlib.import_module(module_name), class_name)
-    return [cls(**fields) for fields in payload["rows"]]
+    return [cls(**fields) for fields in rows]
 
 
 def write_rows_json(path: str, rows: list, indent: int = 2) -> None:
@@ -98,13 +120,46 @@ class ResultStore:
         return self._object_path(key).exists()
 
     def get(self, key: str) -> Optional[list]:
-        """The cached rows for ``key``, or None on a miss."""
+        """The cached rows for ``key``, or None on a miss.
+
+        A present-but-undecodable object (truncated write, bit rot,
+        schema drift) is quarantined rather than silently missed, so the
+        damage is visible in ``python -m repro.harness status`` and the
+        cell recomputes cleanly.
+        """
         path = self._object_path(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return None
-        return rows_from_payload(payload)
+        except OSError as exc:
+            self._quarantine(path, key, f"unreadable: {exc}")
+            return None
+        try:
+            return rows_from_payload(json.loads(text))
+        except Exception as exc:
+            self._quarantine(
+                path, key, f"corrupt: {type(exc).__name__}: {exc}")
+            return None
+
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Move a bad object aside with a ``.reason`` sidecar and warn."""
+        target_dir = self.quarantine_dir()
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # racing reader already moved (or removed) it
+        target.with_suffix(".reason").write_text(
+            reason + "\n", encoding="utf-8")
+        root_key = str(self.root)
+        if root_key not in _QUARANTINE_WARNED:
+            _QUARANTINE_WARNED.add(root_key)
+            logger.warning(
+                "quarantined corrupt result-store object %s (%s); "
+                "further quarantines this run are silent — see %s",
+                key, reason, target_dir)
 
     def put(self, key: str, spec, rows: list, elapsed: float = 0.0) -> None:
         """Store rows for ``key`` (atomic write; last writer wins)."""
@@ -125,6 +180,23 @@ class ResultStore:
             return []
         return sorted(objects_dir.glob("*/*.json"))
 
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def quarantined(self) -> List[Path]:
+        """Quarantined object files (each has a ``.reason`` sidecar)."""
+        if not self.quarantine_dir().is_dir():
+            return []
+        return sorted(self.quarantine_dir().glob("*.json"))
+
+    def quarantine_reason(self, path: Path) -> str:
+        """The recorded reason for one quarantined object file."""
+        sidecar = path.with_suffix(".reason")
+        try:
+            return sidecar.read_text(encoding="utf-8").strip()
+        except OSError:
+            return "unknown"
+
     def manifest_dir(self) -> Path:
         return self.root / "manifests"
 
@@ -137,9 +209,13 @@ class ResultStore:
         return sum(p.stat().st_size for p in self.objects())
 
     def clean(self) -> int:
-        """Delete every cached object and manifest; returns files removed."""
+        """Delete every cached object, manifest and quarantined file;
+        returns the number of files removed."""
         removed = 0
-        for path in self.objects() + self.manifests():
+        quarantined = [p for path in self.quarantined()
+                       for p in (path, path.with_suffix(".reason"))
+                       if p.exists()]
+        for path in self.objects() + self.manifests() + quarantined:
             path.unlink()
             removed += 1
         for sub in sorted(self.root.glob("objects/*")):

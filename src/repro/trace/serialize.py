@@ -76,12 +76,53 @@ def write_trace(trace: Iterable[DynInst], fp: IO[str],
     return count
 
 
-def read_trace(fp: IO[str]) -> Iterator[DynInst]:
+#: exact token count per record class ("R index pc opclass" + fields)
+_FIELD_COUNT = {"load": 8, "store": 7, "control": 6, "other": 5}
+
+
+def _parse_record(parts, line_no: int, line: str) -> DynInst:
+    """One record line → DynInst; TraceFormatError carries the line number."""
+    index = int(parts[1])
+    pc = int(parts[2])
+    cls = OpClass(int(parts[3]))
+    if cls == OpClass.LOAD:
+        kind = "load"
+    elif cls == OpClass.STORE:
+        kind = "store"
+    elif cls in _CONTROL:
+        kind = "control"
+    else:
+        kind = "other"
+    expected = _FIELD_COUNT[kind]
+    if len(parts) != expected:
+        raise TraceFormatError(
+            f"line {line_no}: {kind} record has {len(parts)} fields, "
+            f"expected {expected} (truncated mid-record?): {line!r}")
+    if kind == "load":
+        return DynInst(index, pc, cls, rd=int(parts[4]), addr=int(parts[5]),
+                       size=int(parts[6]), value=_decode_value(parts[7]))
+    if kind == "store":
+        return DynInst(index, pc, cls, addr=int(parts[4]),
+                       size=int(parts[5]), value=_decode_value(parts[6]))
+    if kind == "control":
+        return DynInst(index, pc, cls, taken=bool(int(parts[4])),
+                       target_pc=int(parts[5]))
+    rd = int(parts[4])
+    return DynInst(index, pc, cls, rd=None if rd < 0 else rd)
+
+
+def read_trace(fp: IO[str], salvage: bool = False) -> Iterator[DynInst]:
     """Stream records back from a file object written by :func:`write_trace`.
 
     Register *source* lists are not serialized (analyses that consume saved
     traces — DDT, cloaking, locality — key on PCs, addresses and values);
     loads and stores come back with empty ``srcs``.
+
+    A malformed line — truncated mid-record, wrong field count, bad value
+    token — raises :class:`TraceFormatError` naming the line number.  With
+    ``salvage=True`` the records *before* the first corruption are yielded
+    and iteration stops cleanly instead of raising (the header must still
+    be intact).
     """
     header = fp.readline()
     if not header.startswith("# repro-trace v"):
@@ -94,29 +135,23 @@ def read_trace(fp: IO[str]) -> Iterator[DynInst]:
         if not line or line.startswith("#"):
             continue
         parts = line.split()
-        if parts[0] != "R" or len(parts) < 4:
-            raise TraceFormatError(f"line {line_no}: bad record {line!r}")
-        index = int(parts[1])
-        pc = int(parts[2])
-        cls = OpClass(int(parts[3]))
         try:
-            if cls == OpClass.LOAD:
-                yield DynInst(index, pc, cls, rd=int(parts[4]),
-                              addr=int(parts[5]), size=int(parts[6]),
-                              value=_decode_value(parts[7]))
-            elif cls == OpClass.STORE:
-                yield DynInst(index, pc, cls, addr=int(parts[4]),
-                              size=int(parts[5]),
-                              value=_decode_value(parts[6]))
-            elif cls in _CONTROL:
-                yield DynInst(index, pc, cls, taken=bool(int(parts[4])),
-                              target_pc=int(parts[5]))
-            else:
-                rd = int(parts[4])
-                yield DynInst(index, pc, cls, rd=None if rd < 0 else rd)
+            if parts[0] != "R" or len(parts) < 4:
+                raise TraceFormatError(
+                    f"line {line_no}: bad record {line!r}")
+            record = _parse_record(parts, line_no, line)
+        except TraceFormatError as exc:
+            if salvage:
+                return
+            if str(exc).startswith("line "):
+                raise
+            raise TraceFormatError(f"line {line_no}: {exc}") from None
         except (IndexError, ValueError) as exc:
+            if salvage:
+                return
             raise TraceFormatError(
                 f"line {line_no}: {exc}: {line!r}") from None
+        yield record
 
 
 def save_trace(trace: Iterable[DynInst], path: str, name: str = "") -> int:
@@ -125,11 +160,12 @@ def save_trace(trace: Iterable[DynInst], path: str, name: str = "") -> int:
         return write_trace(trace, fp, name=name)
 
 
-def load_trace(path: str) -> Iterator[DynInst]:
+def load_trace(path: str, salvage: bool = False) -> Iterator[DynInst]:
     """Iterate the records stored at ``path``.
 
     The file stays open for the duration of the iteration; exhaust or
-    close the generator to release it.
+    close the generator to release it.  ``salvage`` is forwarded to
+    :func:`read_trace`.
     """
     with open(path) as fp:
-        yield from read_trace(fp)
+        yield from read_trace(fp, salvage=salvage)

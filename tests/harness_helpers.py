@@ -3,18 +3,22 @@
 Registered under the name ``boom`` by ``tests/test_harness.py``; exposes
 the same ``run``/``run_one``/``render`` interface as the real experiment
 modules but fails on demand: the ``go`` cell raises, the ``m88`` cell
-hard-exits its worker process (simulating a crash), every other cell
-succeeds.
+hard-exits its worker process (simulating a crash), the ``gcc`` cell
+ignores SIGTERM and hangs (an unkillable-without-SIGKILL worker), every
+other cell succeeds.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 RAISING_WORKLOAD = "go"
 DYING_WORKLOAD = "m88"
+HANGING_WORKLOAD = "gcc"
 
 
 @dataclass
@@ -36,6 +40,9 @@ def run_one(workload: str, scale: float, **kwargs) -> List[BoomRow]:
         raise RuntimeError("injected failure")
     if workload == DYING_WORKLOAD:
         os._exit(13)
+    if workload == HANGING_WORKLOAD:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(3600)
     return [BoomRow(abbrev=workload, scale=scale)]
 
 

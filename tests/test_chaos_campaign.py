@@ -1,0 +1,241 @@
+"""Tests for chaos campaigns, layer drills, and the ``repro.chaos`` CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.chaos.campaign import (
+    CAMPAIGNS,
+    ChaosRow,
+    harness_drill,
+    plan_sites,
+    run_drills,
+    run_kernel_campaign,
+    store_drill,
+    trace_drill,
+)
+from repro.chaos.inject import (
+    STORE_FAULTS,
+    TRACE_FAULTS,
+    corrupt_store_object,
+    corrupt_trace_text,
+)
+from repro.chaos.__main__ import main as chaos_main
+from repro.harness.jobs import make_job
+from repro.harness.store import ResultStore, rows_from_payload
+from repro.trace.serialize import TraceFormatError, read_trace, write_trace
+from repro.workloads import all_workloads, get_workload
+
+SEED = 1999
+SCALE = CAMPAIGNS["smoke"].scale
+
+
+def broken_recovery(observed, true_value):
+    """Detection fires but recovery never rolls the wrong value back."""
+    if (observed is not None and observed.outcome.speculated
+            and not observed.outcome.correct):
+        return observed.spec_value
+    return true_value
+
+
+class TestKernelCampaign:
+    def test_smoke_campaign_holds_on_every_kernel(self):
+        """The acceptance bar: fixed seed, all 18 kernels, 0 violations."""
+        for workload in all_workloads():
+            row = run_kernel_campaign(workload, SCALE, seed=SEED,
+                                      injections=3)
+            assert row.violations == [], (
+                f"{workload.abbrev}: {row.violations}")
+            assert row.injected == row.armed + row.unarmed
+            assert row.armed == row.detected + row.silent
+            assert row.recovered == row.detected
+
+    def test_campaign_rows_are_deterministic(self):
+        workload = get_workload("li")
+        a = run_kernel_campaign(workload, SCALE, seed=SEED, injections=3)
+        b = run_kernel_campaign(workload, SCALE, seed=SEED, injections=3)
+        assert a == b
+
+    def test_broken_recovery_is_caught_with_repro(self):
+        workload = get_workload("li")
+        row = run_kernel_campaign(workload, SCALE, seed=SEED, injections=3,
+                                  commit_rule=broken_recovery)
+        assert row.violated > 0
+        assert any("repro: python -m repro.chaos" in text
+                   for text in row.violations)
+
+    def test_plan_sites_seeded_and_bounded(self):
+        assert plan_sites(SEED, "li", 10000, 3) \
+            == plan_sites(SEED, "li", 10000, 3)
+        assert plan_sites(SEED, "li", 10000, 3) \
+            != plan_sites(SEED + 1, "li", 10000, 3)
+        assert plan_sites(SEED, "li", 1, 3) == []
+        assert len(plan_sites(SEED, "li", 3, 8)) == 2
+
+    def test_rows_round_trip_through_store(self, tmp_path):
+        from repro.harness.store import rows_to_payload
+
+        workload = get_workload("mgd")
+        rows = [run_kernel_campaign(workload, SCALE, seed=SEED,
+                                    injections=2)]
+        payload = json.loads(json.dumps(rows_to_payload(rows)))
+        assert rows_from_payload(payload) == rows
+
+
+class TestHarnessIntegration:
+    def test_chaos_runs_as_harness_artefact(self, tmp_path):
+        from repro.harness.api import run_artefacts
+
+        params = {"seed": SEED, "injections": 2}
+        store = ResultStore(tmp_path)
+        outcome = run_artefacts([("chaos", SCALE, params)], ["li"],
+                                workers=0, store=store)
+        rows = outcome.runs[0].rows
+        assert len(rows) == 1
+        assert isinstance(rows[0], ChaosRow)
+        assert rows[0].violations == []
+        # second run is a cache hit
+        again = run_artefacts([("chaos", SCALE, params)], ["li"],
+                              workers=0, store=store)
+        assert again.manifest.hits == 1
+        assert again.runs[0].rows == rows
+
+    def test_seed_participates_in_cache_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = store.key_for(make_job("chaos", "li", SCALE, {"seed": 1}))
+        b = store.key_for(make_job("chaos", "li", SCALE, {"seed": 2}))
+        assert a != b
+
+
+class TestTraceDrill:
+    def test_drill_is_graceful(self):
+        result = trace_drill(SEED)
+        assert result.ok, result.failed
+        assert result.cases == 2 * len(TRACE_FAULTS)
+
+    def test_truncated_record_raises_with_line_number(self):
+        workload = get_workload("li")
+        buffer = io.StringIO()
+        write_trace(workload.trace(0.02, max_instructions=200), buffer)
+        corrupted = corrupt_trace_text(
+            buffer.getvalue(), "truncate-mid-record", random.Random(3))
+        with pytest.raises(TraceFormatError, match=r"line \d+"):
+            list(read_trace(io.StringIO(corrupted)))
+
+    def test_salvage_yields_prefix(self):
+        workload = get_workload("li")
+        buffer = io.StringIO()
+        total = write_trace(workload.trace(0.02, max_instructions=200),
+                            buffer)
+        corrupted = corrupt_trace_text(
+            buffer.getvalue(), "garble-value", random.Random(3))
+        salvaged = list(read_trace(io.StringIO(corrupted), salvage=True))
+        assert 0 <= len(salvaged) < total
+        strict = read_trace(io.StringIO(corrupted))
+        with pytest.raises(TraceFormatError):
+            list(strict)
+
+
+class TestStoreDrill:
+    def test_drill_is_graceful(self, tmp_path):
+        result = store_drill(SEED)
+        assert result.ok, result.failed
+        assert result.cases == len(STORE_FAULTS)
+
+    @pytest.mark.parametrize("model", STORE_FAULTS)
+    def test_corrupt_object_quarantines_and_recomputes(self, tmp_path,
+                                                       model):
+        store = ResultStore(tmp_path)
+        spec = make_job("analysis", "li", 0.05)
+        key = store.key_for(spec)
+        rows = [ChaosRow(
+            abbrev="li", category="int", scale=0.05, seed=SEED,
+            instructions=1, loads=1, speculated=0, misspeculated=0,
+            injected=0, armed=0, detected=0, recovered=0, silent=0,
+            unarmed=0)]
+        store.put(key, spec, rows)
+        corrupt_store_object(store._object_path(key), model,
+                             random.Random(5))
+        assert store.get(key) is None
+        assert len(store.quarantined()) == 1
+        reason = store.quarantine_reason(store.quarantined()[0])
+        assert reason and reason != "unknown"
+        store.put(key, spec, rows)
+        assert store.get(key) == rows
+
+    def test_status_reports_quarantine(self, tmp_path, capsys):
+        from repro.harness.__main__ import main as harness_main
+
+        store = ResultStore(tmp_path)
+        spec = make_job("analysis", "li", 0.05)
+        key = store.key_for(spec)
+        store.put(key, spec, [])
+        corrupt_store_object(store._object_path(key), "truncate",
+                             random.Random(5))
+        store.get(key)
+        assert harness_main(["status", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined:  1" in out
+        assert "corrupt" in out
+
+
+class TestHarnessDrill:
+    def test_sabotaged_workers_degrade_gracefully(self):
+        result = harness_drill(SEED, timeout=2.0)
+        assert result.ok, result.failed
+        assert result.cases == 3
+
+    def test_run_drills_rejects_unknown_layer(self):
+        with pytest.raises(ValueError, match="unknown drill layers"):
+            run_drills(["predictor"], SEED)
+
+
+class TestChaosCLI:
+    def test_smoke_subset_exits_zero(self, tmp_path, capsys):
+        status = chaos_main([
+            "--campaign", "smoke", "--workloads", "li",
+            "--layers", "predictor", "trace",
+            "--store", str(tmp_path), "--seed", str(SEED),
+            "--injections", "2"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "invariant violations: 0" in out
+        assert "chaos report card" in out
+        assert "trace" in out
+
+    def test_json_export(self, tmp_path):
+        path = tmp_path / "rows.json"
+        status = chaos_main([
+            "--workloads", "li", "--layers", "predictor",
+            "--store", str(tmp_path / "store"), "--injections", "1",
+            "--json", str(path)])
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert payload["row_type"] == "repro.chaos.campaign:ChaosRow"
+        rows = rows_from_payload(payload)
+        assert rows[0].abbrev == "li"
+
+    def test_single_repro_mode(self, capsys):
+        status = chaos_main([
+            "--workloads", "li", "--scale", str(SCALE),
+            "--seed", str(SEED), "--site", "400", "--fault", "stale-sf"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "invariant:    HELD" in out
+
+    def test_single_repro_needs_one_workload(self, capsys):
+        assert chaos_main(["--site", "4"]) == 2
+        assert "--fault" in capsys.readouterr().err
+
+    def test_top_level_alias(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        status = cli_main([
+            "chaos", "--workloads", "li", "--layers", "predictor",
+            "--store", str(tmp_path), "--injections", "1"])
+        assert status == 0
+        assert "Chaos" in capsys.readouterr().out

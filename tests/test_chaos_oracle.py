@@ -1,0 +1,199 @@
+"""Tests for the differential oracle and the predictor fault injectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.campaign import fault_seed
+from repro.chaos.inject import (
+    PREDICTOR_FAULTS,
+    STALE_SENTINEL,
+    AppliedFault,
+    PredictorInjector,
+)
+from repro.chaos.oracle import first_violation, run_oracle, verified_commit
+from repro.core import CloakingConfig, CloakingEngine
+from repro.workloads import get_workload
+
+SCALE = 0.05
+SEED = 1999
+
+
+def trusting_commit(observed, true_value):
+    """A broken mechanism: commit speculative values without verifying."""
+    if observed is not None and observed.outcome.speculated:
+        return observed.spec_value
+    return true_value
+
+
+def unrecovering_commit(observed, true_value):
+    """A broken recovery path: verification detects the wrong value but
+    the squash/re-execute never happens, so it still commits."""
+    if (observed is not None and observed.outcome.speculated
+            and not observed.outcome.correct):
+        return observed.spec_value
+    return true_value
+
+
+class TestInvariantHolds:
+    """Sound verification: no predictor corruption changes committed state."""
+
+    @pytest.mark.parametrize("model", PREDICTOR_FAULTS)
+    def test_single_fault_never_diverges(self, model):
+        workload = get_workload("li")
+        outcome = run_oracle(
+            workload, SCALE, [(500, model)],
+            fault_seed(SEED, "li", 500, model))
+        assert outcome.divergence is None
+        assert outcome.instructions > 0
+        assert first_violation(workload, SCALE, SEED, outcome) is None
+
+    def test_multi_fault_never_diverges(self):
+        workload = get_workload("com")
+        plans = [(200, "stale-sf"), (900, "bitflip-sf"),
+                 (1500, "synonym-alias"), (2500, "confidence-force")]
+        outcome = run_oracle(workload, SCALE, plans,
+                             fault_seed(SEED, "com", 0, "multi"))
+        assert outcome.divergence is None
+        assert len(outcome.applied) == len(plans)
+
+    def test_stale_fault_is_detected_by_verification(self):
+        # A stale sentinel planted early in a speculation-heavy kernel
+        # must show up as extra verification failures, never divergence.
+        workload = get_workload("li")
+        clean = run_oracle(workload, SCALE, [], 0)
+        armed = None
+        for site in (400, 800, 1600, 3200):
+            outcome = run_oracle(
+                workload, SCALE, [(site, "stale-sf")],
+                fault_seed(SEED, "li", site, "stale-sf"))
+            assert outcome.divergence is None
+            if (outcome.applied and outcome.applied[0].target
+                    and outcome.misspeculated > clean.misspeculated):
+                armed = outcome
+                break
+        assert armed is not None, "no site produced a detected stale value"
+
+
+class TestOracleCatchesBrokenMechanisms:
+    """The oracle must *fail* when verification or recovery is broken."""
+
+    def test_unverified_commit_diverges(self):
+        workload = get_workload("li")
+        outcome = run_oracle(workload, SCALE, [], 0,
+                             commit_rule=trusting_commit)
+        assert outcome.divergence is not None
+
+    def test_broken_recovery_diverges_with_minimized_repro(self):
+        workload = get_workload("li")
+        site, model = 400, "stale-sf"
+        outcome = run_oracle(
+            workload, SCALE, [(site, model)],
+            fault_seed(SEED, "li", site, model),
+            commit_rule=unrecovering_commit)
+        assert outcome.divergence is not None
+        violation = first_violation(workload, SCALE, SEED, outcome)
+        assert violation is not None
+        assert violation.model == model
+        assert violation.site == site
+        assert "--site 400" in violation.repro_command()
+        assert "--fault stale-sf" in violation.repro_command()
+        # the divergence names the first divergent instruction
+        assert violation.divergence.index >= site
+
+    def test_divergent_value_propagates_to_final_state(self):
+        # Under the broken rule the wrong value must genuinely enter the
+        # register file (not just the record): the divergence is either a
+        # committed-stream field or final architectural state.  gcc has
+        # natural misspeculations even uninjected, so the trusting rule
+        # commits wrong values without any fault.
+        workload = get_workload("gcc")
+        outcome = run_oracle(workload, SCALE, [], 0,
+                             commit_rule=trusting_commit)
+        assert outcome.divergence is not None
+        assert outcome.misspeculated > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        workload = get_workload("go")
+        a = run_oracle(workload, SCALE, [(700, "bitflip-sf")], 1234)
+        b = run_oracle(workload, SCALE, [(700, "bitflip-sf")], 1234)
+        assert [f.__dict__ for f in a.applied] \
+            == [f.__dict__ for f in b.applied]
+        assert a.misspeculated == b.misspeculated
+
+    def test_different_seed_can_pick_different_target(self):
+        workload = get_workload("go")
+        targets = {
+            run_oracle(workload, SCALE, [(700, "bitflip-sf")],
+                       seed).applied[0].target
+            for seed in range(6)
+        }
+        assert len(targets) > 1
+
+
+class TestInjectors:
+    def _warm_engine(self, abbrev="li"):
+        engine = CloakingEngine(CloakingConfig.paper_accuracy())
+        for inst in get_workload(abbrev).trace(0.02, max_instructions=3000):
+            engine.observe(inst)
+        return engine
+
+    @pytest.mark.parametrize("model", PREDICTOR_FAULTS)
+    def test_each_model_arms_on_a_warm_engine(self, model):
+        engine = self._warm_engine()
+        injector = PredictorInjector([(0, model)], seed=7)
+        injector.maybe_inject(0, engine)
+        assert len(injector.applied) == 1
+        applied = injector.applied[0]
+        assert isinstance(applied, AppliedFault)
+        assert applied.model == model
+        assert applied.target is not None
+
+    def test_stale_sf_plants_sentinel(self):
+        engine = self._warm_engine()
+        injector = PredictorInjector([(0, "stale-sf")], seed=7)
+        injector.maybe_inject(0, engine)
+        assert any(entry.full and entry.value == STALE_SENTINEL
+                   for _, entry in engine.sf.entries())
+
+    def test_bitflip_changes_exactly_one_value(self):
+        engine = self._warm_engine()
+        before = {syn: entry.value for syn, entry in engine.sf.entries()
+                  if entry.full}
+        injector = PredictorInjector([(0, "bitflip-sf")], seed=11)
+        injector.maybe_inject(0, engine)
+        after = {syn: entry.value for syn, entry in engine.sf.entries()
+                 if entry.full}
+        changed = [syn for syn in before if before[syn] != after.get(syn)]
+        assert len(changed) == 1
+
+    def test_synonym_alias_merges_two_groups(self):
+        engine = self._warm_engine()
+        injector = PredictorInjector([(0, "synonym-alias")], seed=3)
+        injector.maybe_inject(0, engine)
+        assert "synonym" in injector.applied[0].target
+
+    def test_faults_on_cold_engine_are_no_ops(self):
+        engine = CloakingEngine(CloakingConfig.paper_accuracy())
+        injector = PredictorInjector(
+            [(0, model) for model in PREDICTOR_FAULTS], seed=5)
+        injector.maybe_inject(0, engine)
+        assert all(f.target is None for f in injector.applied)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown predictor fault"):
+            PredictorInjector([(0, "meteor-strike")], seed=1)
+
+    def test_sites_fire_in_order(self):
+        engine = self._warm_engine()
+        injector = PredictorInjector(
+            [(50, "stale-sf"), (10, "stale-sf")], seed=9)
+        injector.maybe_inject(9, engine)
+        assert injector.applied == []
+        injector.maybe_inject(10, engine)
+        assert len(injector.applied) == 1
+        assert injector.applied[0].site == 10
+        injector.maybe_inject(60, engine)
+        assert [f.site for f in injector.applied] == [10, 50]

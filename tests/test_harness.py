@@ -228,6 +228,130 @@ class TestScheduler:
             Scheduler(workers=-1)
         with pytest.raises(ValueError):
             Scheduler(retries=-1)
+        with pytest.raises(ValueError):
+            Scheduler(term_grace=-1)
+        with pytest.raises(ValueError):
+            Scheduler(retry_backoff=-0.5)
+
+
+class TestHangEscalation:
+    @pytest.fixture(autouse=True)
+    def _register_boom(self, monkeypatch):
+        monkeypatch.setitem(ARTEFACTS, "boom", BOOM)
+
+    def test_sigterm_ignoring_worker_is_killed(self):
+        """A worker that masks SIGTERM must not hang the sweep: the
+        scheduler escalates to SIGKILL after ``term_grace``."""
+        import time
+
+        started = time.time()
+        outcome = run_artefacts(
+            [("boom", 1.0)], ["li", helpers.HANGING_WORKLOAD],
+            workers=2, retries=0, timeout=1.0, term_grace=0.2,
+            allow_failures=True)
+        elapsed = time.time() - started
+        assert elapsed < 30  # far below the worker's one-hour sleep
+        failed = outcome.manifest.failed
+        assert [f.workload for f in failed] == [helpers.HANGING_WORKLOAD]
+        assert "timed out" in failed[0].error
+        assert [r.abbrev for r in outcome.rows("boom")] == ["li"]
+
+
+class TestRetryBackoff:
+    def test_backoff_is_exponential_with_bounded_jitter(self):
+        scheduler = Scheduler(workers=0, retry_backoff=0.1)
+        spec = make_job("fig2", "li", SCALE)
+        delays = [scheduler._backoff(spec, attempt)
+                  for attempt in (1, 2, 3)]
+        for attempt, delay in zip((1, 2, 3), delays):
+            base = 0.1 * 2 ** (attempt - 1)
+            assert base * 0.5 <= delay <= base
+        assert delays[0] < delays[1] < delays[2]
+
+    def test_backoff_is_deterministic_per_job(self):
+        a = Scheduler(workers=0)._backoff(make_job("fig2", "li", SCALE), 2)
+        b = Scheduler(workers=0)._backoff(make_job("fig2", "li", SCALE), 2)
+        c = Scheduler(workers=0)._backoff(make_job("fig2", "go", SCALE), 2)
+        assert a == b
+        assert a != c
+
+    def test_zero_backoff_disables_delay(self):
+        scheduler = Scheduler(workers=0, retry_backoff=0.0)
+        assert scheduler._backoff(make_job("fig2", "li", SCALE), 3) == 0.0
+
+    def test_retries_are_spaced_by_backoff(self, monkeypatch):
+        """The failing cell's attempts must be separated in time."""
+        import time
+
+        monkeypatch.setitem(ARTEFACTS, "boom", BOOM)
+        started = time.time()
+        outcome = run_artefacts(
+            [("boom", 1.0)], ["go"], workers=1, retries=2,
+            retry_backoff=0.2, allow_failures=True)
+        elapsed = time.time() - started
+        assert outcome.manifest.failed[0].attempts == 3
+        # two backoffs of at least 0.2*0.5 and 0.4*0.5 seconds
+        assert elapsed >= 0.3
+
+
+# ---------------------------------------------------------------------------
+# store quarantine
+
+
+class TestQuarantine:
+    def _corrupt(self, store, spec, text):
+        key = store.key_for(spec)
+        store.put(key, spec, fig2.run(scale=SCALE, workloads=["li"]))
+        store._object_path(key).write_text(text, encoding="utf-8")
+        return key
+
+    def test_undecodable_object_is_quarantined_not_served(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_job("fig2", "li", SCALE)
+        key = self._corrupt(store, spec, "not json at all")
+        assert store.get(key) is None
+        assert len(store.quarantined()) == 1
+        assert "corrupt" in store.quarantine_reason(store.quarantined()[0])
+        assert not store.has(key)  # the bad object is gone from objects/
+
+    def test_schema_drift_rejected_not_empty(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_job("fig2", "li", SCALE)
+        key = self._corrupt(store, spec,
+                            json.dumps({"rowType": "x", "rows": [{}]}))
+        assert store.get(key) is None  # NOT an empty-rows cache hit
+        assert len(store.quarantined()) == 1
+
+    def test_rows_from_payload_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed rows payload"):
+            rows_from_payload({"rows": []})
+        with pytest.raises(ValueError, match="no row_type"):
+            rows_from_payload({"row_type": None, "rows": [{"a": 1}]})
+        assert rows_from_payload({"row_type": None, "rows": []}) == []
+
+    def test_sweep_recomputes_after_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        rows_for("fig2", SCALE, ["li"], store=store)
+        path = store.objects()[0]
+        path.write_text("{broken", encoding="utf-8")
+        outcome = run_artefacts([("fig2", SCALE)], ["li"], store=store)
+        assert outcome.manifest.hits == 0
+        assert outcome.manifest.computed == 1
+        assert len(store.quarantined()) == 1
+
+    def test_missing_file_is_a_plain_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("0" * 40) is None
+        assert store.quarantined() == []
+
+    def test_clean_removes_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_job("fig2", "li", SCALE)
+        key = self._corrupt(store, spec, "junk")
+        store.get(key)
+        assert store.quarantined()
+        store.clean()
+        assert store.quarantined() == []
 
 
 # ---------------------------------------------------------------------------

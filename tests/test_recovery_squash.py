@@ -1,0 +1,105 @@
+"""Recovery-path coverage under adversarial mispredictions.
+
+The paper's recovery policies (Section 5.6.1) only matter when the
+predictor is wrong; these tests force it to be wrong for *every used
+prediction* — the worst case the mechanism must survive — and check both
+halves of the contract:
+
+* **correctness**: committed architectural state still equals the
+  functional interpreter's, through the differential oracle;
+* **timing sanity**: every recovery policy completes, counts the
+  misspeculations, and orders as the paper describes (squash pays at
+  least as much as selective; the oracle policy never uses wrong values).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.oracle import run_oracle
+from repro.core import CloakingConfig, CloakingMode
+from repro.pipeline import CloakedProcessor, ProcessorConfig
+from repro.pipeline.recovery import RecoveryPolicy
+from repro.workloads import get_workload
+
+SCALE = 0.05
+
+#: a value no kernel computes, planted into every full SF entry
+POISON = 0x7EADBEEF
+
+
+def poison_every_sf_entry(inst, engine):
+    """Adversarial tap: every speculative value a consumer can obtain is
+    wrong by the time the next instruction observes the SF."""
+    for _, entry in engine.sf.entries():
+        if entry.full and entry.value != POISON:
+            entry.value = POISON
+
+
+class TestAdversarialCommittedState:
+    """Every prediction wrong → committed state must still be golden."""
+
+    @pytest.mark.parametrize("abbrev", ["li", "com", "swm"])
+    def test_committed_state_equals_functional_interpreter(self, abbrev):
+        workload = get_workload(abbrev)
+        outcome = run_oracle(workload, SCALE, [], 0,
+                             pre_observe=poison_every_sf_entry)
+        # the poison must actually have been exercised...
+        assert outcome.speculated > 0
+        assert outcome.misspeculated == outcome.speculated
+        # ...and verification caught every single one of them.
+        assert outcome.divergence is None
+
+    def test_poison_without_verification_diverges(self):
+        """Sanity check that the poison has teeth: skip verification and
+        the same run corrupts architectural state immediately."""
+        def trusting(observed, true_value):
+            if observed is not None and observed.outcome.speculated:
+                return observed.spec_value
+            return true_value
+
+        outcome = run_oracle(get_workload("li"), SCALE, [], 0,
+                             pre_observe=poison_every_sf_entry,
+                             commit_rule=trusting)
+        assert outcome.divergence is not None
+
+
+class TestRecoveryPolicyTiming:
+    """All three policies survive a misspeculating kernel and order sanely."""
+
+    def _simulate(self, recovery: RecoveryPolicy):
+        workload = get_workload("go")  # naturally misspeculation-heavy
+        processor = CloakedProcessor(
+            ProcessorConfig(),
+            cloaking=CloakingConfig.paper_timing(CloakingMode.RAW_RAR),
+            recovery=recovery)
+        return processor.run(workload.trace(SCALE), name=workload.abbrev), \
+            processor
+
+    def test_all_policies_complete_and_count(self):
+        results = {}
+        for recovery in RecoveryPolicy:
+            result, processor = self._simulate(recovery)
+            assert result.cycles > 0
+            assert result.extra["recovery"] == recovery.value
+            results[recovery] = (result, processor)
+
+        selective, _ = results[RecoveryPolicy.SELECTIVE]
+        squash, squash_proc = results[RecoveryPolicy.SQUASH]
+        oracle, oracle_proc = results[RecoveryPolicy.ORACLE]
+        # the kernel really misspeculates under these policies
+        assert squash_proc.misspeculations > 0
+        assert squash.extra["misspeculations"] == squash_proc.misspeculations
+        # squash flushes from the wrong consumer on: never cheaper
+        assert squash.cycles >= selective.cycles
+        # the oracle policy refuses every wrong value
+        assert oracle_proc.misspeculations == 0
+        assert oracle.cycles <= squash.cycles
+
+    def test_squash_redirect_advances_fetch(self):
+        """The squash path must actually flush (redirect the front end),
+        not just pay the selective penalty."""
+        _, selective_proc = self._simulate(RecoveryPolicy.SELECTIVE)
+        _, squash_proc = self._simulate(RecoveryPolicy.SQUASH)
+        assert squash_proc.misspeculations == selective_proc.misspeculations
+        assert squash_proc.result.cycles >= selective_proc.result.cycles

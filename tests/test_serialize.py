@@ -87,3 +87,55 @@ class TestErrors:
         data = "# repro-trace v1 x\n\n# a comment\nR 0 4096 15 -1\n"
         records = list(read_trace(io.StringIO(data)))
         assert len(records) == 1
+
+
+HEADER = "# repro-trace v1 x\n"
+LOAD = "R 0 4096 9 1 8192 4 i7\n"      # full 8-token load record
+OTHER = "R 1 4100 15 -1\n"             # full 5-token IALU record
+
+
+class TestCorruption:
+    """Truncated / malformed records fail loudly with a line number, or
+    salvage cleanly — never a silent short read, never a raw crash."""
+
+    def test_truncated_mid_record_names_the_line(self):
+        data = HEADER + LOAD + "R 1 4100 9 1\n"  # load cut off mid-record
+        with pytest.raises(TraceFormatError, match="line 3"):
+            list(read_trace(io.StringIO(data)))
+
+    def test_wrong_field_count_short_names_the_line(self):
+        data = HEADER + "R 0 4096 9 1 8192 4\n" + LOAD
+        with pytest.raises(TraceFormatError,
+                           match=r"line 2.*has 7 fields, expected 8"):
+            list(read_trace(io.StringIO(data)))
+
+    def test_wrong_field_count_extra_token_names_the_line(self):
+        data = HEADER + OTHER.rstrip("\n") + " 999\n"
+        with pytest.raises(TraceFormatError,
+                           match=r"line 2.*has 6 fields, expected 5"):
+            list(read_trace(io.StringIO(data)))
+
+    def test_bad_value_token_names_the_line(self):
+        data = HEADER + LOAD + "R 1 4096 9 1 8192 4 q77\n"
+        with pytest.raises(TraceFormatError, match="line 3"):
+            list(read_trace(io.StringIO(data)))
+
+    def test_salvage_yields_records_before_corruption(self):
+        data = HEADER + LOAD + OTHER + "R 2 4104 9 1\n" + OTHER
+        salvaged = list(read_trace(io.StringIO(data), salvage=True))
+        assert [r.index for r in salvaged] == [0, 1]
+
+    def test_salvage_of_clean_trace_yields_everything(self):
+        data = HEADER + LOAD + OTHER
+        assert len(list(read_trace(io.StringIO(data), salvage=True))) == 2
+
+    def test_salvage_still_requires_a_valid_header(self):
+        with pytest.raises(TraceFormatError):
+            list(read_trace(io.StringIO("junk\n" + LOAD), salvage=True))
+
+    def test_load_trace_forwards_salvage(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(HEADER + LOAD + "R 1 4100 9 1\n")
+        with pytest.raises(TraceFormatError, match="line 3"):
+            list(load_trace(str(path)))
+        assert len(list(load_trace(str(path), salvage=True))) == 1
