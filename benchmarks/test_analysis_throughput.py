@@ -1,0 +1,46 @@
+"""Micro-benchmarks: throughput of the static analysis passes.
+
+Engineering benchmarks (not paper artefacts): the analyzer runs inside
+``Workload.program(verify=True)`` — on every experiment's critical path —
+and the distance/depgraph passes back the suite-wide soundness gate, so
+regressions in either are worth catching early.
+"""
+
+from repro.analysis import analyze_program
+from repro.workloads import get_workload
+
+
+def test_analyze_program_throughput(benchmark):
+    program = get_workload("li").program(1.0)
+
+    def run():
+        return analyze_program(program)
+
+    report = benchmark(run)
+    assert report.ok()
+    assert report.loads > 0
+
+
+def test_distance_pass_throughput(benchmark):
+    program = get_workload("li").program(1.0)
+
+    def run():
+        return analyze_program(program, distances=True)
+
+    report = benchmark(run)
+    assert report.ok()
+    assert report.distances is not None
+    assert report.distances.per_pc
+
+
+def test_suite_structural_lint_throughput(benchmark):
+    from repro.experiments.runner import select_workloads
+
+    programs = [w.program(1.0) for w in select_workloads()]
+
+    def run():
+        return [analyze_program(p, distances=True) for p in programs]
+
+    reports = benchmark(run)
+    assert len(reports) == 18
+    assert all(r.ok() for r in reports)

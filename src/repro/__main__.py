@@ -23,6 +23,7 @@ _ARTEFACTS = {
     "ext_distance": "Extension  - dependence distance distributions",
     "ext_predictors": "Extension  - last-value vs stride vs cloaking",
     "ext_static_ddt": "Extension  - static pair sets vs the dynamic DDT",
+    "ext_static_distance": "Extension  - static distance bounds vs dynamic",
     "report_card": "grades the DESIGN.md shape criteria (PASS/FAIL)",
     "summary": "everything - the full evaluation in one report",
 }

@@ -4,6 +4,16 @@
     python -m repro.analysis li gcc --scale 0.25
     python -m repro.analysis path/to/kernel.s        # an assembly file
     python -m repro.analysis suite --json report.json
+    python -m repro.analysis li --distances --json -  # machine-readable
+
+``--distances`` runs the dependence-structure passes too: per-PC symbolic
+address summaries (loop, stride, trip bound), RAR/RAW distance bounds,
+synonym sets, the static coverage upper bound, and the predictor-sizing
+lint against the paper's timing configuration.
+
+``--json -`` writes the JSON report to stdout and keeps every
+human-readable line (summaries, diagnostics) strictly on stderr, so
+pipeline consumers can parse stdout directly.
 
 Exit status: 0 when every target is clean, 1 when any target has errors
 (with ``--strict``: errors or warnings) or fails to assemble, 2 on bad
@@ -18,8 +28,11 @@ import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.report import REPORT_SCHEMA_VERSION
+
 #: Version of the ``--json`` payload layout (bump on breaking changes).
-JSON_SCHEMA_VERSION = 1
+#: Kept in lockstep with the per-program report schema.
+JSON_SCHEMA_VERSION = REPORT_SCHEMA_VERSION
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -39,8 +52,13 @@ def _parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="treat warnings as failures (the CI gate)")
     parser.add_argument(
+        "--distances", action="store_true",
+        help="also run the dependence-structure passes: distance bounds, "
+             "synonym sets, coverage bound and the predictor-sizing lint")
+    parser.add_argument(
         "--json", default=None, metavar="PATH",
-        help="also write the full JSON report ('-' writes to stdout)")
+        help="also write the full JSON report ('-' writes the JSON to "
+             "stdout and moves all human-readable output to stderr)")
     parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="show informational diagnostics too")
@@ -90,29 +108,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    # With ``--json -`` stdout belongs to the JSON document alone; every
+    # human-readable line goes to stderr so consumers can parse stdout.
+    human = sys.stderr if args.json == "-" else sys.stdout
+
+    lint_config = None
+    if args.distances:
+        from repro.core import CloakingConfig
+
+        lint_config = CloakingConfig.paper_timing()
+
     failed = 0
     payload_programs = []
     for name, program in programs:
         if isinstance(program, Exception):
-            print(f"{name}: FAILED TO ASSEMBLE — {program}")
+            print(f"{name}: FAILED TO ASSEMBLE — {program}", file=human)
             payload_programs.append({
                 "name": name, "assembly_error": str(program)})
             failed += 1
             continue
-        report = analyze_program(program)
-        print(report.render(verbose=args.verbose))
+        report = analyze_program(program, distances=args.distances,
+                                 lint_config=lint_config)
+        print(report.render(verbose=args.verbose), file=human)
         payload_programs.append(report.to_json_dict())
         if not report.ok(strict=args.strict):
             failed += 1
 
     print(f"\n{len(programs) - failed}/{len(programs)} target(s) clean"
-          + (" (strict)" if args.strict else ""))
+          + (" (strict)" if args.strict else ""), file=human)
 
     if args.json:
         payload = {
             "schema_version": JSON_SCHEMA_VERSION,
             "scale": args.scale,
             "strict": args.strict,
+            "distances": args.distances,
             "clean": failed == 0,
             "programs": payload_programs,
         }

@@ -1,0 +1,305 @@
+"""The static dependence-structure graph: loops, strides, synonym sets.
+
+The paper's argument rests on dependence structure being a *static*
+program property: stable (PC, PC) pairs (Section 2), address streams that
+revisit small working sets (Fig. 2/7), and address sets that collapse
+into synonym groups (Section 4).  This pass recovers that structure from
+the assembled kernel without running it:
+
+* **Loops** — the non-trivial strongly connected components of the CFG
+  (over the context-insensitive interprocedural edges of
+  :mod:`repro.analysis.cfg`).  Any block that can re-execute lies in one.
+* **Affine summaries** — a memory access whose base register is advanced
+  by exactly one ``addi r, r, c`` inside its loop is *affine* with byte
+  stride ``c``; combined with its region descriptor this yields an upper
+  bound on the in-bounds trip count (region span / |stride|).
+* **Synonym sets** — connected components of the word-granular may-alias
+  relation over all static memory PCs.  Dynamically, every detected
+  dependence merges the synonyms of its endpoints
+  (:class:`~repro.core.synonyms.SynonymAllocator`), so two PCs can only
+  ever share a synonym if they are in the same component; the component
+  is the static upper bound of the merge closure.  Each set's
+  ``generations`` bounds how many distinct communication groups (one per
+  word, the DDT granularity) the set can sustain — the quantity the
+  Synonym File must hold live.
+
+:mod:`repro.analysis.distance` builds the dependence-distance bounds and
+the configuration lint on top of this graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import DataflowResult
+from repro.analysis.memdep import AddrDescriptor, MemoryAnalysis, may_alias
+from repro.isa.instructions import OpClass
+
+
+def strongly_connected_components(cfg: CFG) -> List[Set[int]]:
+    """Tarjan's SCCs over the block graph (iterative), in discovery order."""
+    index_of: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[Set[int]] = []
+    counter = [0]
+
+    for root in range(len(cfg.blocks)):
+        if root in index_of:
+            continue
+        # Each frame is (block, iterator over successors).
+        work = [(root, iter(cfg.blocks[root].successors))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            bid, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(cfg.blocks[succ].successors)))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[bid] = min(low[bid], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[bid])
+            if low[bid] == index_of[bid]:
+                component: Set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == bid:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def cyclic_blocks(cfg: CFG, sccs: Optional[List[Set[int]]] = None) -> Set[int]:
+    """Blocks that can execute more than once: in a non-trivial SCC or
+    carrying a self-edge."""
+    if sccs is None:
+        sccs = strongly_connected_components(cfg)
+    cyclic: Set[int] = set()
+    for component in sccs:
+        if len(component) > 1:
+            cyclic |= component
+    for block in cfg.blocks:
+        if block.bid in block.successors:
+            cyclic.add(block.bid)
+    return cyclic
+
+
+def word_footprint(descriptors: Iterable[AddrDescriptor]) -> Optional[int]:
+    """Distinct words the descriptors can touch, or None if unbounded."""
+    intervals: List[Tuple[int, int]] = []
+    for desc in descriptors:
+        interval = desc.word_interval()
+        if interval is None:
+            return None
+        intervals.append(interval)
+    intervals.sort()
+    total = 0
+    current: Optional[Tuple[int, int]] = None
+    for lo, hi in intervals:
+        if current is None:
+            current = (lo, hi)
+        elif lo <= current[1] + 1:
+            current = (current[0], max(current[1], hi))
+        else:
+            total += current[1] - current[0] + 1
+            current = (lo, hi)
+    if current is not None:
+        total += current[1] - current[0] + 1
+    return total
+
+
+@dataclass(frozen=True)
+class AccessSummary:
+    """The symbolic shape of one static memory instruction."""
+
+    pc: int
+    index: int
+    is_load: bool
+    block: int
+    descriptor: AddrDescriptor
+    loop: Optional[int] = None     # id of the enclosing loop SCC, if any
+    stride: Optional[int] = None   # provable bytes/iteration of the base
+    trips: Optional[int] = None    # bound on in-bounds loop iterations
+    synonym_set: int = 0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": "load" if self.is_load else "store",
+            "descriptor": self.descriptor.kind,
+            "loop": self.loop,
+            "stride": self.stride,
+            "trips": self.trips,
+            "synonym_set": self.synonym_set,
+        }
+
+
+@dataclass(frozen=True)
+class SynonymSet:
+    """One connected component of the may-alias relation."""
+
+    sid: int
+    members: Tuple[int, ...]           # PCs, sorted
+    generations: Optional[int]         # word-footprint bound; None unbounded
+
+    def to_json_dict(self) -> dict:
+        return {
+            "id": self.sid,
+            "members": [f"{pc:#x}" for pc in self.members],
+            "generations": self.generations,
+        }
+
+
+@dataclass
+class DepGraph:
+    """Loops, affine summaries and synonym structure of one program."""
+
+    accesses: Dict[int, AccessSummary] = field(default_factory=dict)  # pc ->
+    synonym_sets: List[SynonymSet] = field(default_factory=list)
+    sccs: List[Set[int]] = field(default_factory=list)
+    loops: List[Set[int]] = field(default_factory=list)    # non-trivial SCCs
+    cyclic: Set[int] = field(default_factory=set)          # cyclic block ids
+    footprint_words: Optional[int] = None                  # whole program
+
+    def set_of(self, pc: int) -> Optional[int]:
+        """The synonym-set id of a memory PC (None if not a memory PC)."""
+        summary = self.accesses.get(pc)
+        return None if summary is None else summary.synonym_set
+
+
+def _affine_summary(cfg: CFG, index: int, loop: Set[int]
+                    ) -> Tuple[Optional[int], Optional[int]]:
+    """(stride, writer_index) when the base register is an induction
+    pointer of ``loop``: written there by exactly one ``addi r, r, c``."""
+    instructions = cfg.program.instructions
+    base = instructions[index].srcs[0]
+    writers = [
+        j
+        for bid in loop
+        for j in cfg.blocks[bid].indices()
+        if instructions[j].rd == base
+    ]
+    if len(writers) != 1:
+        return None, None
+    writer = instructions[writers[0]]
+    if (writer.opcode == "addi" and writer.srcs and writer.srcs[0] == base
+            and writer.imm):
+        return writer.imm, writers[0]
+    return None, None
+
+
+def _trip_bound(descriptor: AddrDescriptor, stride: Optional[int]
+                ) -> Optional[int]:
+    """In-bounds iterations of an affine access sweeping its region."""
+    if stride is None or descriptor.kind != "region":
+        return None
+    span = descriptor.hi - descriptor.lo
+    if span <= 0:
+        return 1
+    return max(1, span // abs(stride))
+
+
+class _UnionFind:
+    def __init__(self, items: Iterable[int]) -> None:
+        self._parent = {item: item for item in items}
+
+    def find(self, item: int) -> int:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[max(ra, rb)] = min(ra, rb)
+
+
+def build_depgraph(cfg: CFG, dataflow: DataflowResult,
+                   memory: MemoryAnalysis) -> DepGraph:
+    """Recover loops, affine summaries and synonym sets from the passes."""
+    graph = DepGraph()
+    program = cfg.program
+    graph.sccs = strongly_connected_components(cfg)
+    graph.cyclic = cyclic_blocks(cfg, graph.sccs)
+    loop_of_block: Dict[int, int] = {}
+    for component in graph.sccs:
+        if len(component) > 1 or any(
+                cfg.blocks[bid].bid in cfg.blocks[bid].successors
+                for bid in component):
+            loop_id = len(graph.loops)
+            graph.loops.append(component)
+            for bid in component:
+                loop_of_block[bid] = loop_id
+
+    # Synonym sets: union-find over the word-granular may-alias relation
+    # (the DDT's detection granularity — the merges cloaking can perform).
+    pcs = sorted(memory.descriptors)
+    uf = _UnionFind(pcs)
+    for i, pc_a in enumerate(pcs):
+        desc_a = memory.descriptors[pc_a]
+        for pc_b in pcs[i + 1:]:
+            if may_alias(desc_a, memory.descriptors[pc_b],
+                         word_granular=True):
+                uf.union(pc_a, pc_b)
+    members_by_root: Dict[int, List[int]] = {}
+    for pc in pcs:
+        members_by_root.setdefault(uf.find(pc), []).append(pc)
+    set_of_pc: Dict[int, int] = {}
+    for sid, root in enumerate(sorted(members_by_root)):
+        members = tuple(sorted(members_by_root[root]))
+        for pc in members:
+            set_of_pc[pc] = sid
+        graph.synonym_sets.append(SynonymSet(
+            sid=sid,
+            members=members,
+            generations=word_footprint(
+                memory.descriptors[pc] for pc in members),
+        ))
+
+    reachable = cfg.reachable_indices()
+    for index in sorted(dataflow.base_values):
+        if index not in reachable:
+            continue
+        inst = program.instructions[index]
+        pc = program.pc_of(index)
+        bid = cfg.block_of[index]
+        loop_id = loop_of_block.get(bid)
+        stride = trips = None
+        if loop_id is not None:
+            stride, _ = _affine_summary(cfg, index, graph.loops[loop_id])
+            trips = _trip_bound(memory.descriptors[pc], stride)
+        graph.accesses[pc] = AccessSummary(
+            pc=pc,
+            index=index,
+            is_load=inst.opclass == OpClass.LOAD,
+            block=bid,
+            descriptor=memory.descriptors[pc],
+            loop=loop_id,
+            stride=stride,
+            trips=trips,
+            synonym_set=set_of_pc.get(pc, 0),
+        )
+
+    graph.footprint_words = word_footprint(memory.descriptors.values())
+    return graph

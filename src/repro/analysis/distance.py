@@ -1,0 +1,251 @@
+"""Static RAR/RAW dependence-distance bounds, coverage limits and the
+predictor-sizing lint.
+
+The dynamic measurements this pass bounds are the paper's Fig. 2 / Fig. 7
+axes: the *distance* of a dependence is the number of unique intervening
+word addresses between source and sink (the address-window metric that
+also drives the Fig. 5 DDT-size sweep).
+
+**Soundness argument.**  Every instruction that executes dynamically
+between a source instance and a sink instance lies, in the CFG, on a path
+``source block →* sink block`` — its block is forward-reachable from the
+source's block and backward-reaches the sink's block.  The unique
+intervening addresses are therefore a subset of the union word footprint
+of the memory instructions in that *between region*, so that footprint is
+a sound per-pair distance bound.  (For a self-pair in an inner loop the
+between region collapses to the enclosing strongly connected component —
+the loop nest.)  A region containing an ``unknown`` descriptor yields an
+unbounded (``None``) bound — trivially sound, and recorded as such so the
+tightness report stays honest.  The per-PC bound published in the report
+is the maximum over the sink's may-sources, hence an upper bound for any
+individual observed pair; ``repro.experiments.ext_static_distance``
+replays the dynamic measurements and checks exactly this containment.
+
+**Coverage.**  A load can be cloaked only if some may-source (an aliasing
+store for RAW, an aliasing earlier load — or itself, when its block can
+re-execute — for RAR) can reach it in the CFG.  The fraction of static
+load PCs with such a source is a static upper bound on the fraction of
+load *PCs* cloaking/bypassing can ever cover; weighting by dynamic
+execution counts (done in the experiment) turns it into an upper bound on
+the paper's coverage metric itself.
+
+**Config lint.**  The synonym sets of :mod:`repro.analysis.depgraph`
+carry ``generations`` — the words (communication groups) each set can
+keep live.  A finite Synonym File smaller than the kernel's total
+predicted generations must thrash (``W_SF_UNDERSIZED``); a set-associative
+DPNT whose indexing maps more static memory PCs to one set than it has
+ways cannot hold the kernel's working set at all (``W_DPNT_CONFLICT``).
+Both use the index semantics exposed by
+:class:`~repro.core.config.CloakingConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.depgraph import DepGraph, word_footprint
+from repro.analysis.memdep import MemoryAnalysis
+from repro.analysis.report import (
+    Diagnostic,
+    W_DPNT_CONFLICT,
+    W_SF_UNDERSIZED,
+)
+
+
+@dataclass(frozen=True)
+class PCDistance:
+    """Per-sink-PC source counts and distance bounds.
+
+    ``*_bound`` is the max between-region footprint over the PC's
+    reachable may-sources: ``None`` means unbounded (some source's
+    between region contains an ``unknown`` descriptor); ``0`` with zero
+    sources means no dependence of that kind can materialize at all.
+    """
+
+    rar_sources: int = 0
+    raw_sources: int = 0
+    rar_bound: Optional[int] = 0
+    raw_bound: Optional[int] = 0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "rar_sources": self.rar_sources,
+            "raw_sources": self.raw_sources,
+            "rar_bound": self.rar_bound,
+            "raw_bound": self.raw_bound,
+        }
+
+
+@dataclass
+class DistanceReport:
+    """Everything the distance pass proved about one program."""
+
+    graph: DepGraph
+    per_pc: Dict[int, PCDistance] = field(default_factory=dict)  # load pcs
+    coverable: Set[int] = field(default_factory=set)
+    coverage_bound: float = 0.0        # fraction of static load PCs
+    footprint_words: Optional[int] = None
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "footprint_words": self.footprint_words,
+            "coverage_bound": round(self.coverage_bound, 6),
+            "coverable": [f"{pc:#x}" for pc in sorted(self.coverable)],
+            "synonym_sets": [s.to_json_dict()
+                             for s in self.graph.synonym_sets],
+            "pcs": {
+                f"{pc:#x}": {
+                    **self.graph.accesses[pc].to_json_dict(),
+                    **(self.per_pc[pc].to_json_dict()
+                       if pc in self.per_pc else {}),
+                }
+                for pc in sorted(self.graph.accesses)
+            },
+        }
+
+    def render_summary(self) -> str:
+        footprint = ("unbounded" if self.footprint_words is None
+                     else f"≤{self.footprint_words} words")
+        return (f"distances: footprint {footprint}, "
+                f"{len(self.graph.synonym_sets)} synonym set(s), "
+                f"static coverage ≤ {self.coverage_bound:.0%} of load PCs")
+
+
+class _BetweenFootprints:
+    """Memoized footprints of CFG between regions.
+
+    ``bound(bs, bt)`` is the word footprint of every memory instruction in
+    a block forward-reachable from ``bs`` that backward-reaches ``bt``
+    (both inclusive) — the sound per-pair distance bound.
+    """
+
+    def __init__(self, cfg: CFG, memory: MemoryAnalysis) -> None:
+        n = len(cfg.blocks)
+        successors = [set(b.successors) for b in cfg.blocks]
+        predecessors: List[Set[int]] = [set() for _ in range(n)]
+        for block in cfg.blocks:
+            for succ in block.successors:
+                predecessors[succ].add(block.bid)
+        self._forward = [self._closure(bid, successors) for bid in range(n)]
+        self._backward = [self._closure(bid, predecessors) for bid in range(n)]
+        program = cfg.program
+        self._by_block: Dict[int, list] = {}
+        reachable = cfg.reachable_indices()
+        for pc, desc in memory.descriptors.items():
+            index = program.index_of(pc)
+            if index in reachable:
+                self._by_block.setdefault(cfg.block_of[index], []).append(desc)
+        self._cache: Dict[Tuple[int, int], Optional[int]] = {}
+
+    @staticmethod
+    def _closure(root: int, edges: List[Set[int]]) -> Set[int]:
+        seen = {root}
+        work = [root]
+        while work:
+            bid = work.pop()
+            for nxt in edges[bid]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        return seen
+
+    def reaches(self, bs: int, bt: int) -> bool:
+        return bt in self._forward[bs]
+
+    def bound(self, bs: int, bt: int) -> Optional[int]:
+        key = (bs, bt)
+        if key not in self._cache:
+            between = self._forward[bs] & self._backward[bt]
+            descriptors = [desc for bid in between
+                           for desc in self._by_block.get(bid, ())]
+            self._cache[key] = word_footprint(descriptors)
+        return self._cache[key]
+
+
+def _max_bound(bounds: List[Optional[int]]) -> Optional[int]:
+    """Max over bounds where None (unbounded) absorbs everything."""
+    if any(b is None for b in bounds):
+        return None
+    return max(bounds) if bounds else 0
+
+
+def lint_config(graph: DepGraph, config) -> List[Diagnostic]:
+    """Flag predictor sizings statically infeasible for this kernel."""
+    diagnostics: List[Diagnostic] = []
+    generations = [s.generations for s in graph.synonym_sets]
+    if config.sf_entries is not None and all(
+            g is not None for g in generations):
+        total = sum(generations)
+        if total > config.sf_entries:
+            diagnostics.append(Diagnostic(
+                W_SF_UNDERSIZED,
+                f"predicted live synonym generations ({total} words across "
+                f"{len(generations)} synonym set(s)) exceed the "
+                f"{config.sf_entries}-entry synonym file — RAR/RAW "
+                f"communication groups must thrash"))
+    pcs_per_set: Dict[int, int] = {}
+    for pc in graph.accesses:
+        index = config.dpnt_index(pc)
+        if index is not None:
+            pcs_per_set[index] = pcs_per_set.get(index, 0) + 1
+    for index, count in sorted(pcs_per_set.items()):
+        if count > config.dpnt_ways:
+            diagnostics.append(Diagnostic(
+                W_DPNT_CONFLICT,
+                f"{count} static memory PCs map to DPNT set {index} but "
+                f"associativity is {config.dpnt_ways} — the kernel's "
+                f"working set cannot reside simultaneously"))
+    return diagnostics
+
+
+def analyze_distances(cfg: CFG, memory: MemoryAnalysis, graph: DepGraph,
+                      config=None) -> DistanceReport:
+    """Bound RAR/RAW distances per sink PC and the achievable coverage."""
+    report = DistanceReport(graph=graph,
+                            footprint_words=graph.footprint_words)
+    between = _BetweenFootprints(cfg, memory)
+
+    rar_sources: Dict[int, List[int]] = {}
+    raw_sources: Dict[int, List[int]] = {}
+    for src, sink in memory.rar_pairs:
+        rar_sources.setdefault(sink, []).append(src)
+    for src, sink in memory.raw_pairs:
+        raw_sources.setdefault(sink, []).append(src)
+
+    for sink in memory.load_pcs:
+        sink_block = graph.accesses[sink].block
+        reachable_rar: List[int] = []
+        reachable_raw: List[int] = []
+        for src in rar_sources.get(sink, ()):
+            src_block = graph.accesses[src].block
+            if src == sink:
+                # A load is its own RAR source only if it can re-execute.
+                if sink_block in graph.cyclic:
+                    reachable_rar.append(src)
+            elif between.reaches(src_block, sink_block):
+                reachable_rar.append(src)
+        for src in raw_sources.get(sink, ()):
+            if between.reaches(graph.accesses[src].block, sink_block):
+                reachable_raw.append(src)
+        report.per_pc[sink] = PCDistance(
+            rar_sources=len(reachable_rar),
+            raw_sources=len(reachable_raw),
+            rar_bound=_max_bound([
+                between.bound(graph.accesses[src].block, sink_block)
+                for src in reachable_rar]),
+            raw_bound=_max_bound([
+                between.bound(graph.accesses[src].block, sink_block)
+                for src in reachable_raw]),
+        )
+        if reachable_rar or reachable_raw:
+            report.coverable.add(sink)
+
+    report.coverage_bound = (
+        len(report.coverable) / len(memory.load_pcs)
+        if memory.load_pcs else 0.0)
+    if config is not None:
+        report.diagnostics.extend(lint_config(graph, config))
+    return report

@@ -23,6 +23,15 @@ static RAW pairs all store→load pairs that may alias.  The approximation
 is one-sided by construction: it over-counts (no path or intervening
 -store reasoning) but should never miss a dynamically observable pair —
 ``repro.experiments.ext_static_ddt`` measures exactly that.
+
+:func:`may_alias` itself supports two granularities.  The default is the
+*byte* intervals the descriptors carry — precise for subword accesses,
+where adjacent ``lb``/``sb`` within one word do **not** overlap.  The DDT
+however detects dependences at *word* granularity (Section 5.6.1), so
+every DDT-mirroring consumer (the pair sets here, the synonym sets of
+:mod:`repro.analysis.depgraph`) passes ``word_granular=True``; dropping
+to byte granularity there would un-soundly miss dynamically observed
+same-word pairs.
 """
 
 from __future__ import annotations
@@ -76,6 +85,12 @@ class AddrDescriptor:
             return None
         return (self.lo >> 2, (self.hi - 1) >> 2)
 
+    def byte_interval(self) -> Optional[Tuple[int, int]]:
+        """Inclusive byte-address interval, or None for ``unknown``."""
+        if self.kind == "unknown":
+            return None
+        return (self.lo, self.hi - 1)
+
     def to_json_dict(self) -> dict:
         out: Dict[str, object] = {"kind": self.kind, "size": self.size}
         if self.kind != "unknown":
@@ -102,9 +117,20 @@ def data_regions(program: Program) -> List[Region]:
     return regions
 
 
-def may_alias(a: AddrDescriptor, b: AddrDescriptor) -> bool:
-    """Can the two accesses touch a common word?"""
-    ia, ib = a.word_interval(), b.word_interval()
+def may_alias(a: AddrDescriptor, b: AddrDescriptor, *,
+              word_granular: bool = False) -> bool:
+    """Can the two accesses overlap?
+
+    By default the *byte* intervals are compared, so two subword accesses
+    packed into one word (``sb 0(r1)`` vs ``lb 1(r1)``) do not alias.
+    ``word_granular=True`` compares inclusive word intervals instead —
+    the DDT's detection granularity, under which those accesses *do*
+    share a dependence; anything modelling the DDT must use it.
+    """
+    if word_granular:
+        ia, ib = a.word_interval(), b.word_interval()
+    else:
+        ia, ib = a.byte_interval(), b.byte_interval()
     if ia is None or ib is None:
         return True
     return ia[0] <= ib[1] and ib[0] <= ia[1]
@@ -198,15 +224,16 @@ def analyze_memory(cfg: CFG, dataflow: DataflowResult) -> MemoryAnalysis:
                     f"negative (the interpreter would fault)",
                     index=i, pc=pc))
 
-    # Static pair sets at word granularity.
+    # Static pair sets at the DDT's word granularity (byte granularity
+    # would miss dynamically observed same-word subword pairs).
     loads = [(pc, result.descriptors[pc]) for pc in result.load_pcs]
     stores = [(pc, result.descriptors[pc]) for pc in result.store_pcs]
     for src_pc, src_desc in loads:
         for sink_pc, sink_desc in loads:
-            if may_alias(src_desc, sink_desc):
+            if may_alias(src_desc, sink_desc, word_granular=True):
                 result.rar_pairs.append((src_pc, sink_pc))
     for src_pc, src_desc in stores:
         for sink_pc, sink_desc in loads:
-            if may_alias(src_desc, sink_desc):
+            if may_alias(src_desc, sink_desc, word_granular=True):
                 result.raw_pairs.append((src_pc, sink_pc))
     return result

@@ -15,6 +15,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
+#: Version of the per-program report JSON layout (and of the ``--json``
+#: payload wrapping it) — bump on breaking changes.  v2 added the
+#: per-program ``schema_version`` echo and the opt-in ``distances``
+#: section (depgraph/distance passes).
+REPORT_SCHEMA_VERSION = 2
+
+
 class Severity(enum.Enum):
     ERROR = "error"
     WARNING = "warning"
@@ -32,6 +39,8 @@ W_DEAD_CODE = "W_DEAD_CODE"
 W_FALL_OFF_END = "W_FALL_OFF_END"
 W_REGION_CROSS = "W_REGION_CROSS"
 W_RETURN_WITHOUT_CALL = "W_RETURN_WITHOUT_CALL"
+W_SF_UNDERSIZED = "W_SF_UNDERSIZED"
+W_DPNT_CONFLICT = "W_DPNT_CONFLICT"
 I_MAYBE_UNINIT = "I_MAYBE_UNINIT"
 
 _SEVERITY_OF_PREFIX = {
@@ -80,6 +89,10 @@ class AnalysisReport:
     rar_pairs: List[Tuple[int, int]] = field(default_factory=list)
     raw_pairs: List[Tuple[int, int]] = field(default_factory=list)
     addresses: Dict[int, dict] = field(default_factory=dict)  # pc -> descriptor
+    #: Opt-in distance/synonym section — a
+    #: :class:`repro.analysis.distance.DistanceReport` when
+    #: ``analyze_program(..., distances=True)`` ran, else ``None``.
+    distances: Optional[object] = None
 
     # -- severity views ---------------------------------------------------
 
@@ -105,7 +118,8 @@ class AnalysisReport:
 
     def to_json_dict(self) -> dict:
         """The stable JSON schema (see docs/analysis.md)."""
-        return {
+        out = {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "name": self.name,
             "instructions": self.instructions,
             "blocks": self.blocks,
@@ -129,6 +143,9 @@ class AnalysisReport:
                 f"{pc:#x}": desc for pc, desc in sorted(self.addresses.items())
             },
         }
+        if self.distances is not None:
+            out["distances"] = self.distances.to_json_dict()
+        return out
 
     def render(self, verbose: bool = False) -> str:
         """A human-readable summary (the CLI's default output)."""
@@ -140,6 +157,8 @@ class AnalysisReport:
             f"{len(self.rar_pairs)} static RAR / {len(self.raw_pairs)} static "
             f"RAW pairs"
         ]
+        if self.distances is not None:
+            lines.append("  " + self.distances.render_summary())
         shown = self.diagnostics if verbose else [
             d for d in self.diagnostics if d.severity is not Severity.INFO]
         lines.extend("  " + d.render() for d in shown)

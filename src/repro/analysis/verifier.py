@@ -34,8 +34,17 @@ class AnalysisError(ValueError):
         self.report = report
 
 
-def analyze_program(program) -> AnalysisReport:
-    """Run every static pass over an assembled program."""
+def analyze_program(program, distances: bool = False,
+                    lint_config=None) -> AnalysisReport:
+    """Run every static pass over an assembled program.
+
+    ``distances=True`` additionally runs the dependence-structure passes
+    (:mod:`repro.analysis.depgraph` / :mod:`repro.analysis.distance`) and
+    attaches their :class:`~repro.analysis.distance.DistanceReport` to
+    ``report.distances``; a ``lint_config``
+    (:class:`~repro.core.config.CloakingConfig`) also runs the
+    predictor-sizing lint, whose findings join the diagnostics.
+    """
     cfg = build_cfg(program)
     report = AnalysisReport(
         name=program.name,
@@ -54,6 +63,14 @@ def analyze_program(program) -> AnalysisReport:
     report.addresses = {
         pc: desc.to_json_dict() for pc, desc in memory.descriptors.items()
     }
+    if distances:
+        from repro.analysis.depgraph import build_depgraph
+        from repro.analysis.distance import analyze_distances
+
+        graph = build_depgraph(cfg, dataflow, memory)
+        report.distances = analyze_distances(cfg, memory, graph,
+                                             config=lint_config)
+        report.diagnostics.extend(report.distances.diagnostics)
     report.diagnostics.sort(
         key=lambda d: (_SEVERITY_ORDER[d.severity],
                        d.index if d.index is not None else -1, d.code))

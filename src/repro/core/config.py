@@ -117,3 +117,33 @@ class CloakingConfig:
             sf_entries=1024,
             sf_ways=2,
         )
+
+    # -- index semantics (shared with the static config lint) -------------
+
+    @property
+    def dpnt_sets(self) -> Optional[int]:
+        """Number of DPNT sets, or None when the DPNT is infinite or
+        fully associative (no conflict structure to reason about)."""
+        if self.dpnt_entries is None or self.dpnt_ways <= 0:
+            return None
+        return self.dpnt_entries // self.dpnt_ways
+
+    def dpnt_index(self, pc: int) -> Optional[int]:
+        """The DPNT set a memory PC maps to.
+
+        Mirrors the hash-and-mask indexing of the backing
+        :class:`~repro.util.lru.SetAssociativeTable`, so static conflict
+        reasoning (``W_DPNT_CONFLICT``) matches the modelled hardware.
+        """
+        sets = self.dpnt_sets
+        if sets is None:
+            return None
+        return hash(pc) & (sets - 1)
+
+    @property
+    def sf_sets(self) -> Optional[int]:
+        """Number of synonym-file sets, or None when infinite / fully
+        associative."""
+        if self.sf_entries is None or self.sf_ways <= 0:
+            return None
+        return self.sf_entries // self.sf_ways

@@ -9,6 +9,7 @@ locality), Figure 5 (dependence visibility vs DDT size) and Figure 7
 
 from repro.dependence.ddt import DDT, DDTConfig, Dependence, DependenceKind
 from repro.dependence.detector import DependenceProfile, DependenceProfiler
+from repro.dependence.distance import RecencyRanker
 from repro.dependence.locality import (
     AddressValueLocalityAnalysis,
     RARLocalityAnalysis,
@@ -21,6 +22,7 @@ __all__ = [
     "DependenceKind",
     "DependenceProfile",
     "DependenceProfiler",
+    "RecencyRanker",
     "RARLocalityAnalysis",
     "AddressValueLocalityAnalysis",
 ]

@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.trace.records import DynInst
 
 
-class _RecencyRanker:
+class RecencyRanker:
     """Tracks unique-address recency: rank 0 = most recently accessed.
 
     ``touch`` returns the current rank of the address (``None`` if never
@@ -88,6 +88,11 @@ class _RecencyRanker:
         return self._live - self._prefix(min(timestamp, self._size))
 
 
+#: Backward-compatible private alias (the ranker predates its public use
+#: by ``repro.experiments.ext_static_distance``).
+_RecencyRanker = RecencyRanker
+
+
 @dataclass
 class DistanceHistogram:
     """Power-of-two bucketed distance counts."""
@@ -131,7 +136,7 @@ class DependenceDistanceAnalysis:
     """
 
     def __init__(self, rescue_limit: int = 128) -> None:
-        self._ranker = _RecencyRanker()
+        self._ranker = RecencyRanker()
         self._load_seen: Dict[int, bool] = {}
         self._last_store_time: Dict[int, int] = {}
         self.raw = DistanceHistogram()

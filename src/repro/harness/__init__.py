@@ -16,7 +16,12 @@ See docs/harness.md for the job model, hash key and manifest schema.
 
 from repro.harness.jobs import JobSpec, expand_jobs, execute_job
 from repro.harness.manifest import JobRecord, RunManifest
-from repro.harness.registry import ARTEFACTS, ArtefactSpec, artefact_names
+from repro.harness.registry import (
+    ARTEFACTS,
+    ArtefactSpec,
+    artefact_names,
+    register,
+)
 from repro.harness.scheduler import HarnessError, Scheduler
 from repro.harness.store import ResultStore, code_fingerprint, rows_to_payload
 
@@ -35,6 +40,7 @@ __all__ = [
     "code_fingerprint",
     "execute_job",
     "expand_jobs",
+    "register",
     "rows_for",
     "rows_to_payload",
     "run_artefacts",

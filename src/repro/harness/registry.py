@@ -116,6 +116,15 @@ def _static_ddt_config() -> dict:
             "ddt": "infinite", "miss_limit": MISS_LIMIT}
 
 
+def _static_distance_config() -> dict:
+    from repro.analysis.__main__ import JSON_SCHEMA_VERSION
+    from repro.experiments.ext_static_distance import VIOLATION_LIMIT
+
+    return {"analyzer_schema": JSON_SCHEMA_VERSION,
+            "ddt": "infinite", "metric": "distance",
+            "violation_limit": VIOLATION_LIMIT}
+
+
 def _chaos_config() -> dict:
     from repro.chaos.inject import PREDICTOR_FAULTS
     from repro.chaos.oracle import ORACLE_VERSION
@@ -127,10 +136,29 @@ def _chaos_config() -> dict:
 
 
 #: Paper order; ``summary_multiplier`` mirrors ``summary.ARTEFACTS`` (the
-#: timing experiments run at a reduced default scale).
-ARTEFACTS: Dict[str, ArtefactSpec] = {
-    spec.name: spec
-    for spec in (
+#: timing experiments run at a reduced default scale).  Populated below
+#: through :func:`register` so duplicate names fail loudly.
+ARTEFACTS: Dict[str, ArtefactSpec] = {}
+
+
+def register(spec: ArtefactSpec) -> ArtefactSpec:
+    """Add an artefact to the registry.
+
+    Rejects duplicate names: a silent overwrite would redirect every
+    cached result-store key and CLI invocation of the existing artefact
+    to the new module, which is never what a typo'd registration wants.
+    """
+    if spec.name in ARTEFACTS:
+        existing = ARTEFACTS[spec.name]
+        raise ValueError(
+            f"artefact {spec.name!r} is already registered "
+            f"(module {existing.module}); pick a distinct name instead of "
+            f"overwriting it")
+    ARTEFACTS[spec.name] = spec
+    return spec
+
+
+for _spec in (
         ArtefactSpec("table51", "repro.experiments.table51",
                      "Table 5.1", 1.0),
         ArtefactSpec("fig2", "repro.experiments.fig2",
@@ -156,12 +184,17 @@ ARTEFACTS: Dict[str, ArtefactSpec] = {
         ArtefactSpec("ext_static_ddt", "repro.experiments.ext_static_ddt",
                      "Extension: static vs dynamic DDT", None,
                      _static_ddt_config),
+        ArtefactSpec("ext_static_distance",
+                     "repro.experiments.ext_static_distance",
+                     "Extension: static distance bounds", None,
+                     _static_distance_config),
         ArtefactSpec("analysis", "repro.analysis.artefact",
                      "Static analysis", None, _analysis_config),
         ArtefactSpec("chaos", "repro.chaos.artefact",
                      "Chaos: fault injection", None, _chaos_config),
-    )
-}
+):
+    register(_spec)
+del _spec
 
 
 def artefact_names(summary_only: bool = False) -> List[str]:

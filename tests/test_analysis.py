@@ -4,11 +4,14 @@ import pytest
 
 from repro.analysis import (
     AnalysisError,
+    REPORT_SCHEMA_VERSION,
     analyze_program,
     build_cfg,
     data_regions,
+    may_alias,
     verify_program,
 )
+from repro.analysis.memdep import AddrDescriptor
 from repro.analysis.report import (
     E_BAD_TARGET,
     E_EMPTY_PROGRAM,
@@ -232,8 +235,129 @@ class TestVerifier:
         payload = analyze_program(
             assemble("li r1, 1\nhalt", name="tiny")).to_json_dict()
         assert set(payload) == {
-            "name", "instructions", "blocks", "loads", "stores", "errors",
-            "warnings", "diagnostics", "rar_pairs", "raw_pairs", "addresses",
+            "schema_version", "name", "instructions", "blocks", "loads",
+            "stores", "errors", "warnings", "diagnostics", "rar_pairs",
+            "raw_pairs", "addresses",
         }
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
         assert payload["name"] == "tiny"
         assert payload["errors"] == 0
+
+    def test_json_dict_distances_section_is_opt_in(self):
+        program = assemble(
+            ".data\nx: .word 1\n.text\nla r1, x\nlw r2, 0(r1)\nhalt")
+        assert "distances" not in analyze_program(program).to_json_dict()
+        payload = analyze_program(program, distances=True).to_json_dict()
+        assert "distances" in payload
+        assert set(payload["distances"]) == {
+            "footprint_words", "coverage_bound", "coverable",
+            "synonym_sets", "pcs",
+        }
+
+
+class TestMayAliasGranularity:
+    """``may_alias`` is byte-precise by default; DDT-mirroring consumers
+    (the static pair sets) opt into word granularity.  Scenarios mirror
+    tests/test_subword.py."""
+
+    def test_disjoint_bytes_of_one_word(self):
+        # sb 1(r1) vs lbu 3(r1): never the same byte, same DDT word.
+        a = AddrDescriptor("exact", 1, 101, 102)
+        b = AddrDescriptor("exact", 1, 103, 104)
+        assert not may_alias(a, b)
+        assert may_alias(a, b, word_granular=True)
+
+    def test_same_byte_roundtrip(self):
+        # sb then lbu of byte 1 (the subword roundtrip): alias both ways.
+        a = AddrDescriptor("exact", 1, 101, 102)
+        b = AddrDescriptor("exact", 1, 101, 102)
+        assert may_alias(a, b)
+        assert may_alias(a, b, word_granular=True)
+
+    def test_byte_inside_word(self):
+        # sb 3(r1) writes a byte lw 0(r1) reads: overlaps at both grains.
+        byte = AddrDescriptor("exact", 1, 103, 104)
+        word = AddrDescriptor("exact", 4, 100, 104)
+        assert may_alias(byte, word)
+        assert may_alias(byte, word, word_granular=True)
+
+    def test_halfwords_of_one_word(self):
+        # sh 0(r1) vs lh 2(r1): byte-disjoint halves of one word.
+        a = AddrDescriptor("exact", 2, 100, 102)
+        b = AddrDescriptor("exact", 2, 102, 104)
+        assert not may_alias(a, b)
+        assert may_alias(a, b, word_granular=True)
+
+    def test_adjacent_words_never_alias(self):
+        a = AddrDescriptor("exact", 4, 100, 104)
+        b = AddrDescriptor("exact", 4, 104, 108)
+        assert not may_alias(a, b)
+        assert not may_alias(a, b, word_granular=True)
+
+    def test_unknown_aliases_everything_in_both_modes(self):
+        unknown = AddrDescriptor("unknown", 4)
+        tiny = AddrDescriptor("exact", 1, 0, 1)
+        assert may_alias(unknown, tiny)
+        assert may_alias(unknown, tiny, word_granular=True)
+
+    def test_pair_sets_stay_word_granular(self):
+        # Soundness regression: the DDT pairs same-word subword accesses,
+        # so the byte-precise default must not leak into the pair sets.
+        program = assemble(
+            ".data\nbuf: .word 0\n.text\n"
+            "la r1, buf\nli r2, 7\nsb r2, 3(r1)\nlbu r3, 1(r1)\n"
+            "lw r4, 0(r1)\nhalt")
+        report = analyze_program(program)
+        sb_pc, lbu_pc, lw_pc = (program.pc_of(i) for i in (2, 3, 4))
+        assert (sb_pc, lbu_pc) in report.raw_pairs
+        assert (sb_pc, lw_pc) in report.raw_pairs
+        assert (lbu_pc, lw_pc) in report.rar_pairs
+
+
+class TestLoopCarriedPointer:
+    """An induction pointer rewritten each iteration is loop-carried —
+    not never-written — and its accesses degrade to region descriptors,
+    never to unknown."""
+
+    LOAD_LOOP = (
+        ".data\nbuf: .word 1, 2, 3, 4, 5, 6, 7, 8\n.text\n"
+        "la r1, buf\nli r2, 8\n"
+        "loop: lw r3, 0(r1)\naddi r1, r1, 4\naddi r2, r2, -1\n"
+        "bne r2, r0, loop\nhalt")
+
+    def test_induction_pointer_is_not_never_written(self):
+        report = analyze_program(assemble(self.LOAD_LOOP))
+        assert E_NEVER_WRITTEN not in codes(report)
+        assert not report.errors
+
+    def test_access_degrades_to_region_not_unknown(self):
+        program = assemble(self.LOAD_LOOP)
+        report = analyze_program(program)
+        pc = program.pc_of(2)
+        assert report.addresses[pc]["kind"] == "region"
+        assert report.addresses[pc]["label"] == "buf"
+
+    def test_store_through_induction_pointer(self):
+        program = assemble(
+            ".data\ndst: .space 32\n.text\n"
+            "la r1, dst\nli r2, 8\n"
+            "loop: sw r2, 0(r1)\naddi r1, r1, 4\naddi r2, r2, -1\n"
+            "bgtz r2, loop\nhalt")
+        report = analyze_program(program)
+        assert E_NEVER_WRITTEN not in codes(report)
+        pc = program.pc_of(2)
+        assert report.addresses[pc]["kind"] == "region"
+        assert report.addresses[pc]["label"] == "dst"
+
+    def test_downward_walk_keeps_region(self):
+        # Negative stride: the pointer still only ever holds 'buf'
+        # addresses, so the descriptor must stay region-typed.
+        program = assemble(
+            ".data\nbuf: .word 1, 2, 3, 4\n.text\n"
+            "la r1, buf\naddi r1, r1, 12\nli r2, 4\n"
+            "loop: lw r3, 0(r1)\naddi r1, r1, -4\naddi r2, r2, -1\n"
+            "bgtz r2, loop\nhalt")
+        report = analyze_program(program)
+        pc = program.pc_of(3)
+        assert E_NEVER_WRITTEN not in codes(report)
+        assert report.addresses[pc]["kind"] == "region"

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.__main__ import main as cli_main
+from repro.analysis import REPORT_SCHEMA_VERSION
 from repro.analysis.__main__ import JSON_SCHEMA_VERSION
 from repro.analysis.__main__ import main as analysis_main
 
@@ -64,25 +65,62 @@ class TestJsonSchema:
             ["li", "gcc", "--scale", "0.05", "--json", str(out_path)]) == 0
         payload = json.loads(out_path.read_text())
         assert set(payload) == {
-            "schema_version", "scale", "strict", "clean", "programs"}
+            "schema_version", "scale", "strict", "distances", "clean",
+            "programs"}
         assert payload["schema_version"] == JSON_SCHEMA_VERSION
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
         assert payload["clean"] is True
         assert [p["name"] for p in payload["programs"]] == ["li", "gcc"]
         for program in payload["programs"]:
             assert set(program) == {
-                "name", "instructions", "blocks", "loads", "stores",
-                "errors", "warnings", "diagnostics", "rar_pairs",
+                "schema_version", "name", "instructions", "blocks", "loads",
+                "stores", "errors", "warnings", "diagnostics", "rar_pairs",
                 "raw_pairs", "addresses",
             }
+            assert program["schema_version"] == REPORT_SCHEMA_VERSION
             for pair in program["rar_pairs"]:
                 assert len(pair) == 2
 
-    def test_json_to_stdout(self, capsys):
+    def test_json_to_stdout_is_pure_json(self, capsys):
+        # With ``--json -`` stdout must parse as-is; the human-readable
+        # summary and diagnostics move to stderr.
         assert analysis_main(["li", "--scale", "0.05", "--json", "-"]) == 0
-        out = capsys.readouterr().out
-        start = out.index("{")
-        payload = json.loads(out[start:])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
         assert payload["programs"][0]["name"] == "li"
+        assert "li: clean" in captured.err
+        assert "target(s) clean" in captured.err
+
+    def test_json_to_stdout_keeps_diagnostics_on_stderr(self, tmp_path,
+                                                        capsys):
+        kernel = tmp_path / "spin.s"
+        kernel.write_text("loop: j loop\nhalt\n")
+        assert analysis_main([str(kernel), "--json", "-"]) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)       # still pure JSON
+        assert payload["clean"] is False
+        assert "E_NO_HALT" in captured.err
+
+    def test_distances_document(self, capsys):
+        assert analysis_main(
+            ["li", "--scale", "0.05", "--distances", "--json", "-"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["distances"] is True
+        document = payload["programs"][0]["distances"]
+        assert set(document) == {
+            "footprint_words", "coverage_bound", "coverable",
+            "synonym_sets", "pcs",
+        }
+        assert 0.0 <= document["coverage_bound"] <= 1.0
+        for entry in document["pcs"].values():
+            assert entry["kind"] in ("load", "store")
+            assert "synonym_set" in entry
+            if entry["kind"] == "load":
+                assert "rar_bound" in entry and "raw_bound" in entry
+        sets = document["synonym_sets"]
+        members = [pc for s in sets for pc in s["members"]]
+        assert sorted(members) == sorted(document["pcs"])  # a partition
 
 
 class TestTopLevelDispatch:

@@ -430,3 +430,36 @@ class TestSatellites:
         assert payload["row_type"] == "repro.experiments.fig2:LocalityRow"
         assert rows_from_payload(payload) == fig2.run(scale=SCALE,
                                                       workloads=["li"])
+
+
+class TestRegistryHygiene:
+    def test_register_rejects_duplicate_names(self):
+        from repro.harness import register
+
+        with pytest.raises(ValueError, match="already registered"):
+            register(ArtefactSpec("fig2", "tests.harness_helpers", "Dup"))
+        # The original registration is untouched.
+        assert ARTEFACTS["fig2"].module == "repro.experiments.fig2"
+
+    def test_register_accepts_fresh_name_once(self):
+        from repro.harness import register
+
+        spec = ArtefactSpec("fresh-artefact", "tests.harness_helpers",
+                            "Fresh")
+        try:
+            assert register(spec) is spec
+            assert ARTEFACTS["fresh-artefact"] is spec
+            with pytest.raises(ValueError, match="fresh-artefact"):
+                register(ArtefactSpec("fresh-artefact",
+                                      "tests.harness_helpers", "Again"))
+        finally:
+            ARTEFACTS.pop("fresh-artefact", None)
+
+    def test_ext_static_distance_is_registered(self):
+        from repro.harness.registry import get_artefact
+
+        spec = get_artefact("ext_static_distance")
+        assert spec.module == "repro.experiments.ext_static_distance"
+        descriptor = spec.config_descriptor()
+        assert descriptor["metric"] == "distance"
+        assert descriptor["ddt"] == "infinite"
