@@ -1,0 +1,253 @@
+"""Columnar record batches of the committed dynamic instruction stream.
+
+A :class:`TraceTable` stores one batch (or a whole trace) of
+:class:`~repro.trace.records.DynInst` records column-wise: one NumPy
+array per field, with ``-1`` sentinels for the fields that are ``None``
+on a given record (``rd``, ``addr``, ``taken``, ``target_pc``).  Values
+and source-register tuples keep exact Python semantics in ``object``
+columns — value locality must compare ``2 == 2.0`` and arbitrary-width
+integers exactly as the reference per-instruction code does.
+
+The decode→execute stage of the columnar pipeline *materializes* a trace
+into a table once (:func:`materialized_trace`, behind a small cache);
+every downstream stage then consumes array views instead of re-running
+the interpreter.  ``TraceTable.to_dyninsts`` reconstructs the exact
+record stream, which is what the lockstep differential checker
+(:mod:`repro.columnar.diff`) verifies and what the non-vectorized
+predict stage replays.
+
+This module requires NumPy; import it through
+:func:`repro.columnar.backend.get_backend`, which reports a clear error
+when NumPy is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import OpClass
+from repro.trace.records import DynInst
+
+#: dense opclass codes (``OpClass`` is an IntEnum, so values are stable)
+_LOAD_CODE = int(OpClass.LOAD)
+_STORE_CODE = int(OpClass.STORE)
+_OPCLASS_BY_CODE: Dict[int, OpClass] = {int(op): op for op in OpClass}
+
+#: default number of records per batch when materializing
+DEFAULT_BATCH_SIZE = 65536
+
+
+class TraceTable:
+    """One record batch (or a concatenation of batches) in columnar form.
+
+    Columns (all length ``n``):
+
+    ========== ========== ===============================================
+    column     dtype      meaning (sentinel for ``None``)
+    ========== ========== ===============================================
+    ``index``  int64      dynamic sequence number (commit order)
+    ``pc``     int64      instruction address
+    ``op``     uint8      :class:`OpClass` value
+    ``rd``     int16      destination register (``-1``)
+    ``addr``   int64      effective byte address (``-1``)
+    ``size``   uint8      access size in bytes
+    ``taken``  int8       branch outcome: 1/0 (``-1``)
+    ``target`` int64      branch/jump target pc (``-1``)
+    ``value``  object     loaded/stored value, exact Python object
+    ``srcs``   object     source-register tuple
+    ========== ========== ===============================================
+    """
+
+    __slots__ = ("index", "pc", "op", "rd", "addr", "size", "taken",
+                 "target", "value", "srcs")
+
+    def __init__(self, index, pc, op, rd, addr, size, taken, target,
+                 value, srcs) -> None:
+        self.index = index
+        self.pc = pc
+        self.op = op
+        self.rd = rd
+        self.addr = addr
+        self.size = size
+        self.taken = taken
+        self.target = target
+        self.value = value
+        self.srcs = srcs
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "TraceTable":
+        return cls.from_dyninsts(())
+
+    @classmethod
+    def from_dyninsts(cls, records: Iterable[DynInst]) -> "TraceTable":
+        """Materialize an iterable of records into one batch."""
+        index: List[int] = []
+        pc: List[int] = []
+        op: List[int] = []
+        rd: List[int] = []
+        addr: List[int] = []
+        size: List[int] = []
+        taken: List[int] = []
+        target: List[int] = []
+        value: List[object] = []
+        srcs: List[object] = []
+        for inst in records:
+            index.append(inst.index)
+            pc.append(inst.pc)
+            op.append(int(inst.opclass))
+            rd.append(-1 if inst.rd is None else inst.rd)
+            addr.append(-1 if inst.addr is None else inst.addr)
+            size.append(inst.size)
+            taken.append(-1 if inst.taken is None else int(inst.taken))
+            target.append(-1 if inst.target_pc is None else inst.target_pc)
+            value.append(inst.value)
+            srcs.append(inst.srcs)
+        n = len(index)
+        return cls(
+            index=np.array(index, dtype=np.int64),
+            pc=np.array(pc, dtype=np.int64),
+            op=np.array(op, dtype=np.uint8),
+            rd=np.array(rd, dtype=np.int16),
+            addr=np.array(addr, dtype=np.int64),
+            size=np.array(size, dtype=np.uint8),
+            taken=np.array(taken, dtype=np.int8),
+            target=np.array(target, dtype=np.int64),
+            value=np.array(value + [None], dtype=object)[:n],
+            srcs=np.array(srcs + [None], dtype=object)[:n],
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["TraceTable"]) -> "TraceTable":
+        """Concatenate record batches (empty batches are no-ops)."""
+        batches = list(batches)
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        return cls(*(np.concatenate([getattr(b, col) for b in batches])
+                     for col in cls.__slots__))
+
+    # -- shape -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return int(self.pc.size)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def slice(self, start: int, stop: int) -> "TraceTable":
+        return TraceTable(*(getattr(self, col)[start:stop]
+                            for col in self.__slots__))
+
+    def batches(self, batch_size: int) -> Iterator["TraceTable"]:
+        """Re-chunk this table into batches of at most ``batch_size``."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, self.n, batch_size):
+            yield self.slice(start, start + batch_size)
+
+    # -- derived columns -------------------------------------------------
+
+    @property
+    def is_load(self) -> np.ndarray:
+        return self.op == _LOAD_CODE
+
+    @property
+    def is_store(self) -> np.ndarray:
+        return self.op == _STORE_CODE
+
+    @property
+    def is_mem(self) -> np.ndarray:
+        return self.is_load | self.is_store
+
+    def word_addr(self) -> np.ndarray:
+        """Word-granularity addresses (meaningful at memory positions only)."""
+        return self.addr >> 2
+
+    # -- counts (the trace-stage summary) --------------------------------
+
+    def counts(self) -> Tuple[int, int, int]:
+        """``(instructions, loads, stores)``."""
+        return (self.n, int(np.count_nonzero(self.is_load)),
+                int(np.count_nonzero(self.is_store)))
+
+    # -- interop ---------------------------------------------------------
+
+    def to_dyninsts(self) -> Iterator[DynInst]:
+        """Reconstruct the exact per-instruction record stream.
+
+        ``tolist()`` converts every numeric column to plain Python ints up
+        front, so reconstructed records compare (and hash, and format)
+        identically to interpreter-produced ones.
+        """
+        rows = zip(self.index.tolist(), self.pc.tolist(), self.op.tolist(),
+                   self.rd.tolist(), self.addr.tolist(), self.size.tolist(),
+                   self.taken.tolist(), self.target.tolist(),
+                   self.value, self.srcs)
+        for index, pc, op, rd, addr, size, taken, target, value, srcs in rows:
+            yield DynInst(
+                index, pc, _OPCLASS_BY_CODE[op],
+                rd=None if rd < 0 else rd,
+                srcs=srcs,
+                addr=None if addr < 0 else addr,
+                value=value,
+                taken=None if taken < 0 else bool(taken),
+                target_pc=None if target < 0 else target,
+                size=size,
+            )
+
+
+def iter_record_batches(records: Iterable[DynInst],
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[TraceTable]:
+    """Chunk a record stream into :class:`TraceTable` batches."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    chunk: List[DynInst] = []
+    for inst in records:
+        chunk.append(inst)
+        if len(chunk) >= batch_size:
+            yield TraceTable.from_dyninsts(chunk)
+            chunk = []
+    if chunk:
+        yield TraceTable.from_dyninsts(chunk)
+
+
+# -- the materialization cache (decode → execute stage) ------------------
+
+#: (workload abbrev, rounded scale, cap) -> TraceTable, insertion-ordered
+_TRACE_CACHE: "Dict[Tuple[str, float, Optional[int]], TraceTable]" = {}
+_TRACE_CACHE_CAPACITY = 4
+
+
+def materialized_trace(workload, scale: float = 1.0,
+                       max_instructions: Optional[int] = None,
+                       batch_size: int = DEFAULT_BATCH_SIZE) -> TraceTable:
+    """The whole committed trace of a workload as one columnar table.
+
+    Materialization runs the reference interpreter once and batches its
+    record stream; repeat requests for the same ``(workload, scale,
+    cap)`` are served from a small in-process cache — this is how the
+    columnar pipeline amortizes interpretation across the many stages
+    (and figures) that consume the same trace.  The cache key rounds the
+    scale exactly like :meth:`repro.workloads.base.Workload.program`.
+    """
+    key = (workload.abbrev, round(float(scale), 9), max_instructions)
+    table = _TRACE_CACHE.get(key)
+    if table is None:
+        stream = workload.trace(scale=scale, max_instructions=max_instructions)
+        table = TraceTable.concat(list(iter_record_batches(stream, batch_size)))
+        while len(_TRACE_CACHE) >= _TRACE_CACHE_CAPACITY:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[key] = table
+    return table
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached materialized trace (tests and memory pressure)."""
+    _TRACE_CACHE.clear()

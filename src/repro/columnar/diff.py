@@ -1,0 +1,197 @@
+"""Lockstep differential checking between simulation backends.
+
+The Ramulator 2.0 re-evaluation (PAPERS.md) is the cautionary tale this
+module answers: a fast model is *validated against* the reference, never
+asserted equivalent.  The checker reuses the ``repro.chaos`` golden-diff
+machinery — :func:`repro.chaos.oracle._compare` field-level record
+diffing and its :class:`~repro.chaos.oracle.Divergence` report type — and
+extends it stage by stage:
+
+* **trace** — the fast backend's record stream is zipped against the
+  reference interpreter's, record by record (the chaos comparator, plus
+  the fields it deliberately ignores for commit-stream purposes:
+  ``index``, ``rd``, ``srcs``).
+* **dependence** — DDT visibility profiles (Figure 5 sizes) and the full
+  detected-dependence pair sets (infinite and 128-entry tables) must
+  match exactly.
+* **locality** — Figure 2 recency histograms and Figure 7
+  address/value breakdowns must match count for count.
+
+:func:`verify_parity` runs every stage over a workload suite and returns
+one :class:`ParityReport` per workload; the suite-wide parity test
+asserts all reports are clean on all 18 kernels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.oracle import Divergence, _compare
+from repro.columnar.backend import (
+    DEFAULT_BACKEND,
+    ReferenceBackend,
+    SimBackend,
+    get_backend,
+)
+from repro.dependence.ddt import DDTConfig
+from repro.workloads.base import Workload
+
+#: the address windows and DDT sizes the parity suite exercises (the
+#: Figure 2 / Figure 5 settings)
+PARITY_WINDOWS: Dict[str, Optional[int]] = {"infinite": None, "4K": 4096}
+PARITY_DDT_SIZES: Tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048)
+PARITY_MAX_N = 4
+
+
+@dataclass
+class StageDivergence:
+    """One backend disagreement, attributed to a pipeline stage."""
+
+    stage: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.stage}] {self.detail}"
+
+
+@dataclass
+class ParityReport:
+    """All divergences between two backends on one workload."""
+
+    workload: str
+    scale: float
+    golden: str
+    fast: str
+    divergences: List[StageDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def __str__(self) -> str:
+        head = (f"{self.workload} @ scale {self.scale}: "
+                f"{self.fast} vs {self.golden}: ")
+        if self.ok:
+            return head + "parity"
+        return head + "; ".join(str(d) for d in self.divergences)
+
+
+def diff_trace(workload: Workload, scale: float, fast: SimBackend,
+               golden: Optional[SimBackend] = None,
+               max_instructions: Optional[int] = None
+               ) -> Optional[Divergence]:
+    """First record-level divergence between the two backends' streams.
+
+    Uses the chaos oracle's field comparator, then checks the fields it
+    skips (it diffs committed *behaviour*; the columnar round-trip must
+    also preserve record identity bit for bit).
+    """
+    golden = golden if golden is not None else ReferenceBackend()
+    for expected, actual in itertools.zip_longest(
+            golden.stream(workload, scale, max_instructions),
+            fast.stream(workload, scale, max_instructions)):
+        divergence = _compare(expected, actual)
+        if divergence is not None:
+            return divergence
+        for name in ("index", "rd", "srcs", "value", "taken", "target_pc",
+                     "size"):
+            want, got = getattr(expected, name), getattr(actual, name)
+            if got != want or type(got) is not type(want):
+                return Divergence(expected.index, name, want, got,
+                                  expected.pc)
+    return None
+
+
+def diff_workload(workload: Workload, scale: float, fast: SimBackend,
+                  golden: Optional[SimBackend] = None,
+                  max_instructions: Optional[int] = None,
+                  check_trace: bool = True) -> ParityReport:
+    """Run every pipeline stage on both backends and diff the results."""
+    golden = golden if golden is not None else ReferenceBackend()
+    report = ParityReport(workload.abbrev, scale, golden.name, fast.name)
+
+    def note(stage: str, detail: str) -> None:
+        report.divergences.append(StageDivergence(stage, detail))
+
+    # decode → execute
+    if check_trace:
+        divergence = diff_trace(workload, scale, fast, golden,
+                                max_instructions)
+        if divergence is not None:
+            note("trace", str(divergence))
+    want = golden.trace_summary(workload, scale, max_instructions)
+    got = fast.trace_summary(workload, scale, max_instructions)
+    if want != got:
+        note("trace", f"summary: expected {want}, got {got}")
+
+    # dependence: Figure 5 profiles ...
+    want_profiles = golden.ddt_profiles(workload, scale, PARITY_DDT_SIZES,
+                                        max_instructions)
+    got_profiles = fast.ddt_profiles(workload, scale, PARITY_DDT_SIZES,
+                                     max_instructions)
+    for wp, gp in zip(want_profiles, got_profiles):
+        if (wp.config, wp.loads, wp.raw_loads, wp.rar_loads) != \
+                (gp.config, gp.loads, gp.raw_loads, gp.rar_loads):
+            note("dependence", f"{wp.config.describe()}: expected "
+                 f"{(wp.loads, wp.raw_loads, wp.rar_loads)}, got "
+                 f"{(gp.loads, gp.raw_loads, gp.rar_loads)}")
+
+    # ... and exact pair sets, infinite plus the paper's 128-entry table
+    for config in (DDTConfig(size=None), DDTConfig(size=128)):
+        want_pairs = golden.dependence_pairs(workload, scale, config,
+                                             max_instructions)
+        got_pairs = fast.dependence_pairs(workload, scale, config,
+                                          max_instructions)
+        if want_pairs != got_pairs:
+            missing = want_pairs - got_pairs
+            extra = got_pairs - want_pairs
+            note("dependence",
+                 f"{config.describe()} pairs: {len(missing)} missing, "
+                 f"{len(extra)} extra (e.g. "
+                 f"{next(iter(missing or extra))})")
+
+    # locality: Figure 2 ...
+    want_loc = golden.rar_locality(workload, scale, PARITY_MAX_N,
+                                   PARITY_WINDOWS, max_instructions)
+    got_loc = fast.rar_locality(workload, scale, PARITY_MAX_N,
+                                PARITY_WINDOWS, max_instructions)
+    for label in PARITY_WINDOWS:
+        if want_loc[label] != got_loc[label]:
+            note("locality", f"window {label}: expected "
+                 f"{want_loc[label]}, got {got_loc[label]}")
+
+    # ... and Figure 7
+    want_av = golden.address_value_locality(
+        workload, scale, max_instructions=max_instructions)
+    got_av = fast.address_value_locality(
+        workload, scale, max_instructions=max_instructions)
+    for part in ("address", "value"):
+        if getattr(want_av, part) != getattr(got_av, part):
+            note("locality", f"{part}: expected {getattr(want_av, part)}, "
+                 f"got {getattr(got_av, part)}")
+
+    return report
+
+
+def verify_parity(workloads: Optional[Sequence[str]] = None,
+                  scale: float = 0.25,
+                  fast: str = "numpy",
+                  golden: str = DEFAULT_BACKEND,
+                  max_instructions: Optional[int] = None,
+                  check_trace: bool = True) -> List[ParityReport]:
+    """Differentially validate a backend over a workload suite.
+
+    Returns one report per workload; raises nothing — callers decide
+    whether a dirty report is fatal (the parity test asserts all clean).
+    """
+    from repro.experiments.runner import select_workloads
+
+    fast_backend = get_backend(fast)
+    golden_backend = get_backend(golden)
+    return [
+        diff_workload(workload, scale, fast_backend, golden_backend,
+                      max_instructions, check_trace=check_trace)
+        for workload in select_workloads(workloads)
+    ]

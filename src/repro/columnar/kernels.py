@@ -1,0 +1,206 @@
+"""Vectorized NumPy kernels behind the columnar ``numpy`` backend.
+
+The per-instruction DDT (:class:`repro.dependence.ddt.DDT`) is a
+fully-associative LRU table; under the paper's default configuration
+(common load/store table, record-loads-on-miss, touch-on-hit) its whole
+behaviour over a trace is a function of the memory-access *word
+sequence* alone, which makes it computable offline with array passes:
+
+* **recency** — every access (store ``put``, load hit ``touch``, load
+  miss ``put``) promotes its word to most-recent, so table occupancy is
+  the classic LRU stack: an access *hits* a table of capacity ``C`` iff
+  the number of distinct words accessed since the previous access to the
+  same word (the *stack distance*) is ``< C``.  Stack distances are
+  computed once per trace — :func:`stack_distances`, a fully vectorized
+  divide-and-conquer over sorted per-block index arrays — and shared by
+  every table size in a sweep.
+* **content** — the entry a hitting load observes is the most recent
+  *recording* access to its word: any store, or any missing load (which
+  records itself).  With accesses grouped per word (sorted index
+  arrays), that is a segment-wise forward-fill.
+
+The same stack-distance kernel doubles as the Figure 2 per-sink-load MRU
+recency position (an ``_MRUList`` of capacity *n* is an LRU stack of
+source PCs), and locality histograms reduce to ``bincount`` + ``cumsum``.
+
+Everything here is validated against the per-instruction reference
+implementations by ``tests/test_columnar.py`` (randomized differential
+tests) and the suite-wide parity test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: dependence kind codes in the kernel output arrays
+KIND_NONE = 0
+KIND_RAW = 1
+KIND_RAR = 2
+
+#: stack-distance sentinel for first occurrences (larger than any table)
+NO_PREV = np.int64(2 ** 62)
+
+
+def group_links(keys: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Previous/next occurrence links for each position of a key sequence.
+
+    Returns ``(prev, nxt, order, same)`` where ``prev[i]`` is the index
+    of the previous occurrence of ``keys[i]`` (``-1`` if none),
+    ``nxt[i]`` the next occurrence (``len(keys)`` if none), ``order`` a
+    stable sort of positions by key (occurrences of one key are
+    contiguous and in trace order — the "sorted per-word index arrays"),
+    and ``same[t]`` marks sorted positions that continue the previous
+    position's key group.
+    """
+    m = int(keys.size)
+    prev = np.full(m, -1, np.int64)
+    nxt = np.full(m, m, np.int64)
+    order = np.argsort(keys, kind="stable")
+    same = np.zeros(m, dtype=bool)
+    if m > 1:
+        ordered = keys[order]
+        same[1:] = ordered[1:] == ordered[:-1]
+        older = order[:-1][same[1:]]
+        newer = order[1:][same[1:]]
+        prev[newer] = older
+        nxt[older] = newer
+    return prev, nxt, order, same
+
+
+def stack_distances(prev: np.ndarray, nxt: np.ndarray) -> np.ndarray:
+    """LRU stack distance of every access: distinct keys strictly between
+    ``prev[i]`` and ``i`` (first occurrences get the :data:`NO_PREV`
+    sentinel, which compares ``>=`` any finite table size).
+
+    The distinct count decomposes as ``(i - prev[i] - 1) - C[i]`` where
+    ``C[i]`` counts repeat occurrences inside the window — pairs
+    ``k → nxt[k]`` nested strictly inside ``(prev[i], i)``.  Because
+    ``nxt[k] > k`` always, the nesting condition is just ``k > prev[i]``
+    and ``nxt[k] < i``: a 2-D dominance count, solved here by a
+    vectorized divide-and-conquer on the position axis.  At block size
+    ``h``, every query attached (at ``prev[i]``) to a *left* half-block
+    gains the count of positions in its right sibling whose ``nxt``
+    falls below ``i`` — one ``np.sort`` + one ``np.searchsorted`` over
+    all blocks at once per level, O(m log² m) total with no Python-level
+    per-access loop.
+    """
+    m = int(prev.size)
+    out = np.full(m, NO_PREV, np.int64)
+    queries = np.nonzero(prev >= 0)[0]
+    if queries.size == 0:
+        return out
+    qi = queries.astype(np.int64)       # query position i
+    qp = prev[queries]                  # attach position prev[i]
+
+    size = 1
+    while size < m:
+        size <<= 1
+    padded = np.full(size, m, np.int64)
+    padded[:m] = nxt
+
+    nested = np.zeros(qi.size, np.int64)
+    offset = np.int64(size + 2)         # > any nxt value and any query i
+    h = 1
+    while h < size:
+        block = qp // h
+        left = (block % 2) == 0
+        if left.any():
+            sibling = block[left] + 1
+            blocks = np.sort(padded.reshape(-1, h), axis=1)
+            base = (np.arange(size // h, dtype=np.int64) * offset)[:, None]
+            flat = (blocks + base).ravel()
+            pos = np.searchsorted(flat, sibling * offset + qi[left],
+                                  side="left")
+            nested[left] += pos - sibling * h
+        h <<= 1
+
+    out[queries] = (qi - qp - 1) - nested
+    return out
+
+
+def _is_default_config(config) -> bool:
+    """Whether a DDTConfig is coverable by the vectorized kernels."""
+    return (not config.split and config.record_loads
+            and not config.record_all_loads and config.touch_on_hit
+            and not config.ways)
+
+
+def ddt_dependences(word: np.ndarray, is_store: np.ndarray,
+                    sizes: Sequence[Optional[int]]
+                    ) -> Dict[Optional[int], Tuple[np.ndarray, np.ndarray]]:
+    """Dependences every access detects, for each DDT size, in one pass.
+
+    ``word``/``is_store`` describe the memory-access subsequence of a
+    trace in program order.  Returns, per size (``None`` = infinite), a
+    ``(kind, source)`` pair of arrays over accesses: ``kind`` is
+    :data:`KIND_RAW`/:data:`KIND_RAR` for loads that detect a
+    dependence (else :data:`KIND_NONE`), ``source`` the access index of
+    the detected entry (``-1`` when none).  Stack distances are computed
+    once and shared across all sizes — the Figure 5 sweep costs one
+    distance pass plus a vectorized classification per size.
+    """
+    m = int(word.size)
+    prev, nxt, order, same = group_links(word)
+    finite = [s for s in sizes if s is not None]
+    distance = stack_distances(prev, nxt) if finite else None
+
+    positions = np.arange(m, dtype=np.int64)
+    is_load = ~is_store
+    results: Dict[Optional[int], Tuple[np.ndarray, np.ndarray]] = {}
+    for table_size in sizes:
+        if table_size is None:
+            hit = prev >= 0
+        else:
+            hit = distance < table_size      # NO_PREV sentinel never hits
+        # recording accesses: stores, and loads that miss
+        recorder = is_store | ~hit
+        recorder_sorted = recorder[order]
+        slot = np.where(recorder_sorted, positions, -1)
+        last_recorder = np.maximum.accumulate(slot)
+        # entry observed by an access = last recorder strictly before it
+        # in its word group; group starts always miss, hence record, so
+        # the fill never leaks across group boundaries.
+        entry_sorted = np.full(m, -1, np.int64)
+        entry_sorted[1:] = last_recorder[:-1]
+        entry_sorted[~same] = -1
+        entry = np.empty(m, np.int64)
+        entry[order] = np.where(entry_sorted >= 0,
+                                order[np.clip(entry_sorted, 0, None)], -1)
+
+        source = np.where(hit & is_load, entry, -1)
+        kind = np.zeros(m, np.int8)
+        detected = source >= 0
+        kind[detected] = np.where(is_store[source[detected]],
+                                  KIND_RAW, KIND_RAR)
+        results[table_size] = (kind, source)
+    return results
+
+
+def mru_hits_within(sink: np.ndarray, source: np.ndarray,
+                    max_n: int) -> np.ndarray:
+    """Figure 2 recency histogram over a RAR dependence stream.
+
+    For each dependence (in trace order), the recency position of its
+    source PC in the sink load's bounded MRU list of unique sources — an
+    LRU stack per sink, so: compact per-sink subsequences into
+    contiguous segments (stable sort by sink), link occurrences of each
+    (sink, source) pair, and reuse :func:`stack_distances`; positions
+    ``< max_n`` are hits.  Returns ``hits_within`` where
+    ``hits_within[k]`` counts dependences found at position ``<= k``.
+    """
+    if sink.size == 0:
+        return np.zeros(max_n, np.int64)
+    grouped = np.argsort(sink, kind="stable")
+    gsink = sink[grouped].astype(np.int64)
+    gsource = source[grouped].astype(np.int64)
+    if (gsink >= 1 << 31).any() or (gsource >= 1 << 31).any():
+        raise ValueError("PC beyond 31 bits; cannot pack (sink, source)")
+    pair = (gsink << np.int64(32)) | gsource
+    prev, nxt, _, _ = group_links(pair)
+    distance = stack_distances(prev, nxt)
+    found = distance[distance < max_n]
+    histogram = np.bincount(found.astype(np.int64), minlength=max_n)
+    return np.cumsum(histogram[:max_n])

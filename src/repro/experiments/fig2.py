@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.dependence.locality import RARLocalityAnalysis
+from repro.columnar.backend import DEFAULT_BACKEND, get_backend
 from repro.experiments.report import format_table, pct
 from repro.experiments.runner import (
     experiment_parser,
@@ -30,23 +30,18 @@ class LocalityRow:
 
 
 def run(scale: float = 1.0, workloads: Optional[Sequence[str]] = None,
-        max_n: int = 4) -> List[LocalityRow]:
+        max_n: int = 4, backend: str = DEFAULT_BACKEND) -> List[LocalityRow]:
     """Measure RAR dependence locality for both address windows."""
     rows = []
+    sim = get_backend(backend)
     for workload in select_workloads(workloads):
-        analyses = {
-            label: RARLocalityAnalysis(max_n=max_n, window=window)
-            for label, window in WINDOWS.items()
-        }
-        for inst in workload.trace(scale=scale):
-            for analysis in analyses.values():
-                analysis.observe(inst)
-        for label, analysis in analyses.items():
+        results = sim.rar_locality(workload, scale, max_n, WINDOWS)
+        for label, result in results.items():
             rows.append(LocalityRow(
                 abbrev=workload.abbrev,
                 window=label,
-                sink_loads=analysis.sink_loads,
-                locality=[analysis.locality(n) for n in range(1, max_n + 1)],
+                sink_loads=result.sink_loads,
+                locality=[result.locality(n) for n in range(1, max_n + 1)],
             ))
     return rows
 
@@ -90,8 +85,9 @@ def render_chart(rows: List[LocalityRow]) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
-    args = experiment_parser(__doc__).parse_args(argv)
-    rows = run(scale=args.scale, workloads=args.workloads)
+    args = experiment_parser(__doc__, backends=True).parse_args(argv)
+    rows = run(scale=args.scale, workloads=args.workloads,
+               backend=args.backend)
     maybe_write_json(args, rows)
     print(render(rows))
     if args.chart:

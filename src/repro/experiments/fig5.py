@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.dependence.ddt import DDTConfig
-from repro.dependence.detector import DependenceProfiler
+from repro.columnar.backend import DEFAULT_BACKEND, get_backend
 from repro.experiments.report import format_table, pct
 from repro.experiments.runner import (
     experiment_parser,
@@ -38,13 +37,13 @@ class SweepRow:
 
 
 def run(scale: float = 1.0, workloads: Optional[Sequence[str]] = None,
-        sizes: Sequence[int] = DDT_SIZES) -> List[SweepRow]:
+        sizes: Sequence[int] = DDT_SIZES,
+        backend: str = DEFAULT_BACKEND) -> List[SweepRow]:
     """One trace pass per workload drives every DDT size simultaneously."""
     rows = []
+    sim = get_backend(backend)
     for workload in select_workloads(workloads):
-        profiler = DependenceProfiler([DDTConfig(size=s) for s in sizes])
-        profiler.run(workload.trace(scale=scale))
-        for profile in profiler.profiles:
+        for profile in sim.ddt_profiles(workload, scale, list(sizes)):
             rows.append(SweepRow(
                 abbrev=workload.abbrev,
                 category=workload.category,
@@ -94,8 +93,9 @@ def render_chart(rows: List[SweepRow], ddt_size: int = 128) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
-    args = experiment_parser(__doc__).parse_args(argv)
-    rows = run(scale=args.scale, workloads=args.workloads)
+    args = experiment_parser(__doc__, backends=True).parse_args(argv)
+    rows = run(scale=args.scale, workloads=args.workloads,
+               backend=args.backend)
     maybe_write_json(args, rows)
     print(render(rows))
     if args.chart:

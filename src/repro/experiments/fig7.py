@@ -14,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.columnar.backend import DEFAULT_BACKEND, get_backend
 from repro.core import CloakingConfig, CloakingEngine
-from repro.dependence.locality import AddressValueLocalityAnalysis
 from repro.experiments.report import format_table, pct
 from repro.experiments.runner import (
     experiment_parser,
@@ -53,15 +53,16 @@ class LocalityBreakdownRow:
         return self.coverage_raw + self.coverage_rar
 
 
-def run(scale: float = 1.0,
-        workloads: Optional[Sequence[str]] = None) -> List[LocalityBreakdownRow]:
+def run(scale: float = 1.0, workloads: Optional[Sequence[str]] = None,
+        backend: str = DEFAULT_BACKEND) -> List[LocalityBreakdownRow]:
     rows = []
+    sim = get_backend(backend)
     for workload in select_workloads(workloads):
-        analysis = AddressValueLocalityAnalysis()
+        # the locality stage may be vectorized; the cloaking engine (the
+        # predict stage) always sees the per-instruction stream via ``tee``
         engine = CloakingEngine(CloakingConfig.paper_accuracy())
-        for inst in workload.trace(scale=scale):
-            analysis.observe(inst)
-            engine.observe(inst)
+        analysis = sim.address_value_locality(workload, scale,
+                                              tee=engine.observe)
         stats = engine.stats
         rows.append(LocalityBreakdownRow(
             abbrev=workload.abbrev,
@@ -107,8 +108,9 @@ def render(rows: List[LocalityBreakdownRow]) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
-    args = experiment_parser(__doc__).parse_args(argv)
-    rows = run(scale=args.scale, workloads=args.workloads)
+    args = experiment_parser(__doc__, backends=True).parse_args(argv)
+    rows = run(scale=args.scale, workloads=args.workloads,
+               backend=args.backend)
     maybe_write_json(args, rows)
     print(render(rows))
 

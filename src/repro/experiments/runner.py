@@ -37,9 +37,23 @@ def select_workloads(names: Optional[Sequence[str]] = None) -> List[Workload]:
     return selected
 
 
-def experiment_parser(description: str) -> argparse.ArgumentParser:
-    """The common CLI for ``python -m repro.experiments.<name>``."""
+def experiment_parser(description: str,
+                      backends: bool = False) -> argparse.ArgumentParser:
+    """The common CLI for ``python -m repro.experiments.<name>``.
+
+    ``backends=True`` adds the ``--backend`` choice for the measurement
+    experiments that run behind the :mod:`repro.columnar` interface.
+    """
     parser = argparse.ArgumentParser(description=description)
+    if backends:
+        from repro.columnar.backend import DEFAULT_BACKEND, backend_names
+
+        parser.add_argument(
+            "--backend", choices=backend_names(), default=DEFAULT_BACKEND,
+            help="simulation backend (default %(default)s; 'numpy' is the "
+                 "vectorized columnar fast path, validated against "
+                 "'reference' by the parity suite)",
+        )
     parser.add_argument(
         "--scale", type=float, default=DEFAULT_SCALE,
         help="workload scale factor (1.0 = standard size, default %(default)s)",

@@ -20,6 +20,9 @@ from repro.harness.manifest import STATUS_HIT, JobRecord, RunManifest
 from repro.harness.registry import ARTEFACTS
 from repro.harness.store import ResultStore, code_fingerprint
 
+#: artefacts whose ``run_one`` accepts a ``backend`` parameter
+BACKEND_AWARE = frozenset({"fig2", "fig5", "fig7"})
+
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -40,6 +43,11 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--workloads", nargs="*", default=None,
                      metavar="ABBREV",
                      help="subset of workload abbreviations")
+    run.add_argument("--backend", choices=("reference", "numpy"),
+                     default=None,
+                     help="simulation backend for backend-aware artefacts "
+                          "(fig2, fig5, fig7); participates in the store "
+                          "cache key")
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes (default: cpu count; "
                           "0 = run inline)")
@@ -96,6 +104,10 @@ def _cmd_run(args) -> int:
         kwargs["workers"] = os.cpu_count() or 1
 
     name = args.artefact
+    if args.backend is not None and name not in BACKEND_AWARE:
+        print(f"--backend applies only to: {', '.join(sorted(BACKEND_AWARE))}"
+              f" (got artefact {name!r})", file=sys.stderr)
+        return 2
     if name in ("summary", "all"):
         from repro.experiments import summary
 
@@ -118,7 +130,8 @@ def _cmd_run(args) -> int:
         from repro.harness.api import run_artefacts
         from repro.harness.jobs import render_rows
 
-        outcome = run_artefacts([(name, scale)], args.workloads,
+        params = {"backend": args.backend} if args.backend else None
+        outcome = run_artefacts([(name, scale, params)], args.workloads,
                                 allow_failures=True, **kwargs)
         print(render_rows(name, outcome.runs[0].rows))
     else:
@@ -143,6 +156,10 @@ def _cmd_status(args) -> int:
     quarantined = store.quarantined()
     print(f"store:        {store.root}")
     print(f"objects:      {len(objects)} ({store.size_bytes():,} bytes)")
+    if objects:
+        backends = store.cell_backends()
+        print("backends:     " + ", ".join(
+            f"{name}={count}" for name, count in sorted(backends.items())))
     print(f"manifests:    {len(manifests)}")
     print(f"quarantined:  {len(quarantined)}")
     for path in quarantined:

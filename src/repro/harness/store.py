@@ -180,6 +180,26 @@ class ResultStore:
             return []
         return sorted(objects_dir.glob("*/*.json"))
 
+    def cell_backends(self) -> dict:
+        """Cached-cell counts per producing simulation backend.
+
+        Reads each object's embedded cell descriptor: the ``backend``
+        JobSpec param when present, else the default ``reference`` (cells
+        whose artefact predates — or does not take — backend selection).
+        Undecodable objects count as ``unknown`` rather than being
+        quarantined here: ``status`` reporting must not mutate the store.
+        """
+        counts: dict = {}
+        for path in self.objects():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                params = payload["cell"].get("params", {})
+                backend = params.get("backend", "reference")
+            except Exception:
+                backend = "unknown"
+            counts[backend] = counts.get(backend, 0) + 1
+        return counts
+
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
 

@@ -1,0 +1,52 @@
+"""Suite-wide backend parity: the 18-kernel differential gate.
+
+The tentpole guarantee of :mod:`repro.columnar`: the ``numpy`` backend
+may never silently drift from ``reference``.  This suite runs the full
+workload table at scale 0.25 and asserts
+
+* byte-identical per-figure outputs (rows *and* rendered tables) for the
+  backend-aware experiments (Figures 2, 5, 7 — locality histograms, DDT
+  sweep fractions, coverage numbers), and
+* identical detected-dependence pair sets per workload for the infinite
+  and 128-entry DDTs (stronger than the aggregate fractions: every
+  (kind, source, sink, word) tuple must match).
+
+Scale 0.25 keeps the suite a few minutes while exercising millions of
+instructions — large enough that any systematic kernel error (off-by-one
+stack distance, wrong eviction boundary, forward-fill leak) has
+astronomically many chances to surface.
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.columnar.diff import diff_workload
+from repro.columnar.backend import get_backend
+from repro.experiments import fig2, fig5, fig7
+from repro.workloads import all_workloads, get_workload
+
+SCALE = 0.25
+ABBREVS = [w.abbrev for w in all_workloads()]
+FIGURES = {"fig2": fig2, "fig5": fig5, "fig7": fig7}
+
+
+def test_suite_covers_all_18_kernels():
+    assert len(ABBREVS) == 18
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURES))
+def test_figure_outputs_byte_identical(figure):
+    module = FIGURES[figure]
+    reference_rows = module.run(scale=SCALE)
+    numpy_rows = module.run(scale=SCALE, backend="numpy")
+    assert numpy_rows == reference_rows
+    assert module.render(numpy_rows) == module.render(reference_rows)
+
+
+@pytest.mark.parametrize("abbrev", ABBREVS)
+def test_workload_parity(abbrev):
+    """Stage-by-stage diff (profiles, pair sets, locality histograms)."""
+    report = diff_workload(get_workload(abbrev), SCALE,
+                           get_backend("numpy"), check_trace=False)
+    assert report.ok, str(report)
