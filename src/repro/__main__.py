@@ -7,7 +7,6 @@
 
 from __future__ import annotations
 
-import importlib
 import sys
 
 _ARTEFACTS = {
@@ -48,13 +47,18 @@ def main(argv=None) -> int:
         print("fault injection + invariant oracle: "
               "python -m repro chaos --campaign smoke "
               "(alias of python -m repro.chaos)")
+        print("whole-repo invariant lint: "
+              "python -m repro staticcheck --strict "
+              "(alias of python -m repro.staticcheck)")
         return 0
     name = argv.pop(0)
     if name == "all":
         name = "summary"
-    if name in ("analysis", "chaos"):
+    if name in ("analysis", "chaos", "staticcheck"):
         if name == "analysis":
             from repro.analysis.__main__ import main as sub_main
+        elif name == "staticcheck":
+            from repro.staticcheck.__main__ import main as sub_main
         else:
             from repro.chaos.__main__ import main as sub_main
 
@@ -69,7 +73,9 @@ def main(argv=None) -> int:
         print(f"unknown artefact {name!r}; try 'python -m repro list'",
               file=sys.stderr)
         return 2
-    module = importlib.import_module(f"repro.experiments.{name}")
+    from repro.harness.jobs import load_experiment_module
+
+    module = load_experiment_module(f"repro.experiments.{name}")
     try:
         status = module.main(argv)
     except SystemExit as exc:

@@ -221,6 +221,8 @@ def iter_record_batches(records: Iterable[DynInst],
 # -- the materialization cache (decode → execute stage) ------------------
 
 #: (workload abbrev, rounded scale, cap) -> TraceTable, insertion-ordered
+# staticcheck: ignore[FS101] memo of deterministic data — a fork child
+# inheriting (or diverging from) this cache recomputes identical tables
 _TRACE_CACHE: "Dict[Tuple[str, float, Optional[int]], TraceTable]" = {}
 _TRACE_CACHE_CAPACITY = 4
 

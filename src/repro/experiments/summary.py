@@ -14,13 +14,13 @@ store on top, making reruns incremental.
 
 from __future__ import annotations
 
-import importlib
 from typing import List, Optional, Sequence
 
 from repro.experiments import fig9
 from repro.experiments.report import signed_pct
 from repro.experiments.runner import experiment_parser
 from repro.harness.api import SweepOutcome, run_artefacts
+from repro.harness.jobs import render_rows
 from repro.harness.registry import ARTEFACTS as _REGISTRY
 
 #: (title, artefact name, scale multiplier) — timing experiments get a
@@ -46,8 +46,9 @@ def compose_sections(outcome: SweepOutcome) -> List[str]:
     sections = []
     for title, name, _ in ARTEFACTS:
         rows = outcome.rows(name)
-        module = importlib.import_module(_REGISTRY[name].module)
-        rendered = module.render(rows)
+        # the harness owns dynamic module dispatch (CK101): it is outside
+        # the code fingerprint, and the registry maps name -> module
+        rendered = render_rows(name, rows)
         sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{rendered}")
         if title == "Figure 9":
             sections.append(_headline(rows))

@@ -21,6 +21,8 @@ from repro.harness.registry import ARTEFACTS, get_artefact
 #: the parent before ``Scheduler.run`` fires inside each child — this is
 #: the seam the chaos subsystem (and the harness tests) use to sabotage
 #: workers: crash, hang, or delay a cell without touching experiment code.
+# staticcheck: ignore[FS101] deliberate cross-fork seam — inheriting the
+# hook into fork children is the documented mechanism (see above)
 _INJECTION_HOOK: Optional[Callable[["JobSpec"], None]] = None
 
 
@@ -81,12 +83,34 @@ def make_job(artefact: str, workload: str, scale: float,
 def expand_jobs(artefact: str, scale: float,
                 workloads: Optional[Sequence[str]] = None,
                 params: Optional[dict] = None) -> List[JobSpec]:
-    """Decompose one artefact request into per-workload jobs (paper order)."""
+    """Decompose one artefact request into per-cell jobs (paper order).
+
+    Most artefacts shard per workload kernel; an artefact with a custom
+    ``cells`` axis (for example ``ext_staticcheck``, which shards by
+    source subpackage) supplies its own cell names, and the kernel
+    ``workloads`` filter is not applied to it.
+    """
     from repro.experiments.runner import select_workloads
 
-    get_artefact(artefact)  # validate the name early
+    spec = get_artefact(artefact)  # validate the name early
+    if spec.cells is not None:
+        return [make_job(artefact, cell, scale, params)
+                for cell in spec.cells()]
     selected = select_workloads(workloads)
     return [make_job(artefact, w.abbrev, scale, params) for w in selected]
+
+
+def load_experiment_module(dotted: str):
+    """Import an experiment implementation module by dotted path.
+
+    The harness is the sanctioned home for dynamic module loading: it
+    sits *outside* the code fingerprint, while every loadable target
+    lives *inside* it — so routing dispatch through here keeps
+    fingerprinted code free of fingerprint-invisible imports (staticcheck
+    rule CK101) without weakening the cache key: the target's bytes are
+    still hashed by :func:`repro.util.hashing.tree_fingerprint`.
+    """
+    return importlib.import_module(dotted)
 
 
 def execute_job(spec: JobSpec) -> list:

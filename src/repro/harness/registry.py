@@ -24,6 +24,11 @@ class ArtefactSpec:
     title: str                      # section heading used by ``summary``
     summary_multiplier: Optional[float] = None  # None = not part of summary
     config: Callable[[], dict] = field(default=lambda: {})
+    #: custom cell axis: () -> cell names.  ``None`` means the default
+    #: per-workload grid; artefacts whose unit of work is not a kernel
+    #: (``ext_staticcheck`` shards by source subpackage) provide their
+    #: own axis, and the ``--workloads`` filter does not apply to them.
+    cells: Optional[Callable[[], List[str]]] = None
 
     def config_descriptor(self) -> dict:
         """The JSON-able configuration participating in the hash key."""
@@ -125,6 +130,28 @@ def _static_distance_config() -> dict:
             "violation_limit": VIOLATION_LIMIT}
 
 
+def _staticcheck_config() -> dict:
+    from pathlib import Path
+
+    import repro.harness
+    from repro.staticcheck import REGISTRY_VERSION, REPORT_SCHEMA_VERSION
+    from repro.util.hashing import tree_fingerprint
+
+    # the store's code fingerprint excludes repro/harness, so staticcheck
+    # cells (which analyze it) fold their own fingerprint of it into the
+    # config key; REGISTRY_VERSION invalidates on rule-set changes.
+    harness_root = Path(repro.harness.__file__).resolve().parent
+    return {"registry_version": REGISTRY_VERSION,
+            "report_schema": REPORT_SCHEMA_VERSION,
+            "harness_fingerprint": tree_fingerprint(harness_root)}
+
+
+def _staticcheck_cells() -> List[str]:
+    from repro.staticcheck.artefact import scopes
+
+    return scopes()
+
+
 def _chaos_config() -> dict:
     from repro.chaos.inject import PREDICTOR_FAULTS
     from repro.chaos.oracle import ORACLE_VERSION
@@ -138,6 +165,8 @@ def _chaos_config() -> dict:
 #: Paper order; ``summary_multiplier`` mirrors ``summary.ARTEFACTS`` (the
 #: timing experiments run at a reduced default scale).  Populated below
 #: through :func:`register` so duplicate names fail loudly.
+# staticcheck: ignore[FS101] import-time registry — register() runs at
+# module top level (and in tests); parent and fork children see one state
 ARTEFACTS: Dict[str, ArtefactSpec] = {}
 
 
@@ -190,6 +219,9 @@ for _spec in (
                      _static_distance_config),
         ArtefactSpec("analysis", "repro.analysis.artefact",
                      "Static analysis", None, _analysis_config),
+        ArtefactSpec("ext_staticcheck", "repro.staticcheck.artefact",
+                     "Extension: invariant lint", None, _staticcheck_config,
+                     cells=_staticcheck_cells),
         ArtefactSpec("chaos", "repro.chaos.artefact",
                      "Chaos: fault injection", None, _chaos_config),
 ):

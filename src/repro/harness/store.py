@@ -34,9 +34,6 @@ from typing import List, Optional
 
 logger = logging.getLogger(__name__)
 
-#: store roots that already warned about quarantined objects this run
-_QUARANTINE_WARNED = set()
-
 from repro.util.hashing import stable_hash, tree_fingerprint
 
 #: Default store location (relative to the working directory).
@@ -101,6 +98,10 @@ class ResultStore:
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root) if root is not None else DEFAULT_ROOT
+        # warn once per store instance (= once per run for the CLI/API,
+        # which construct a single store); instance state stays
+        # fork-safe where a module-level registry would not (FS101)
+        self._quarantine_warned = False
 
     # -- keys ------------------------------------------------------------
 
@@ -153,9 +154,8 @@ class ResultStore:
             return  # racing reader already moved (or removed) it
         target.with_suffix(".reason").write_text(
             reason + "\n", encoding="utf-8")
-        root_key = str(self.root)
-        if root_key not in _QUARANTINE_WARNED:
-            _QUARANTINE_WARNED.add(root_key)
+        if not self._quarantine_warned:
+            self._quarantine_warned = True
             logger.warning(
                 "quarantined corrupt result-store object %s (%s); "
                 "further quarantines this run are silent — see %s",

@@ -1,0 +1,150 @@
+"""Harness integration: staticcheck reports as a store artefact.
+
+Exposes the uniform experiment interface (``run`` / ``run_one`` /
+``render``) so ``python -m repro.harness run ext_staticcheck`` lints the
+source tree in parallel and lands per-subpackage summaries in the
+content-addressed result store.  The cell axis is not the workload grid:
+each cell is one ``repro`` subpackage (plus ``toplevel`` for the
+package's own top-level modules), declared through
+``ArtefactSpec.cells``.
+
+Cache-key notes: the store's code fingerprint covers the whole analyzed
+tree *except* ``repro/harness`` — so the artefact's configuration
+descriptor (see ``repro.harness.registry``) folds in a fingerprint of
+the harness tree plus the rule ``REGISTRY_VERSION``, and cached cells
+invalidate whenever the analyzed code, the analyzer, or the rule set
+changes.  Cells report *raw* findings — neither the checked-in baseline
+nor its suppressions apply here (inline pragmas do), so the store always
+records ground truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.staticcheck import check_sources, collect_sources, default_root
+
+#: the cell covering ``repro/*.py`` (modules outside any subpackage)
+TOPLEVEL = "toplevel"
+
+
+def package_root() -> Path:
+    """The ``repro`` package directory itself."""
+    return Path(__file__).resolve().parent.parent
+
+
+def scopes() -> List[str]:
+    """Cell names: every ``repro`` subpackage, then ``toplevel``."""
+    names = sorted(entry.name for entry in package_root().iterdir()
+                   if entry.is_dir() and (entry / "__init__.py").is_file())
+    return names + [TOPLEVEL]
+
+
+def _in_scope(rel_path: str, scope: str) -> bool:
+    parts = rel_path.split("/")
+    if scope == TOPLEVEL:
+        return len(parts) == 2          # ["repro", "<module>.py"]
+    return len(parts) > 2 and parts[1] == scope
+
+
+@dataclass
+class StaticcheckRow:
+    """One subpackage's lint summary (store/JSON serializable)."""
+
+    scope: str
+    files: int
+    errors: int
+    warnings: int
+    findings: List[str]   # rendered ``path:line:col: ...`` lines
+
+
+def run(scale: float = 1.0,
+        workloads: Optional[Sequence[str]] = None) -> List[StaticcheckRow]:
+    """Analyze the tree once and summarize the requested scopes.
+
+    ``workloads`` names *scopes* here (the harness reuses the parameter
+    slot for the cell axis); ``scale`` is accepted for interface
+    uniformity and ignored — static analysis has no workload size.
+    """
+    del scale
+    known = scopes()
+    selected = list(workloads) if workloads else known
+    unknown = [name for name in selected if name not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown staticcheck scope(s) {', '.join(unknown)}; "
+            f"valid scopes: {', '.join(known)}")
+
+    root = default_root()
+    sources = collect_sources([package_root()], root)
+    report = check_sources(sources, root)
+
+    rows = []
+    for scope in selected:
+        in_scope = [f for f in report.findings if _in_scope(f.path, scope)]
+        rows.append(StaticcheckRow(
+            scope=scope,
+            files=sum(1 for s in sources if _in_scope(s.rel, scope)),
+            errors=sum(1 for f in in_scope
+                       if f.severity.value == "error"),
+            warnings=sum(1 for f in in_scope
+                         if f.severity.value == "warning"),
+            findings=[f.render() for f in in_scope],
+        ))
+    return rows
+
+
+def run_one(workload: str, scale: float, **kwargs) -> List[StaticcheckRow]:
+    """One scope cell of the grid — the harness entry point."""
+    return run(scale=scale, workloads=[workload], **kwargs)
+
+
+def render(rows: List[StaticcheckRow]) -> str:
+    table_rows = [
+        [row.scope, str(row.files), str(row.errors), str(row.warnings),
+         "clean" if not row.findings else "FINDINGS"]
+        for row in rows
+    ]
+    headers = ["scope", "files", "errors", "warnings", "status"]
+    lines = [format_table(
+        headers, table_rows,
+        title="Staticcheck: invariant lint by subpackage")]
+    for row in rows:
+        lines.extend(f"  {text}" for text in row.findings)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scopes", nargs="*", default=None, metavar="SCOPE",
+        help="subset of scopes to report (default: all; see --list-scopes)")
+    parser.add_argument(
+        "--list-scopes", action="store_true",
+        help="print the cell axis and exit")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the rows as machine-readable JSON "
+             "(the same serialization the repro.harness result store uses)")
+    args = parser.parse_args(argv)
+    if args.list_scopes:
+        for name in scopes():
+            print(name)
+        return 0
+    rows = run(workloads=args.scopes)
+    if args.json:
+        from repro.harness.store import write_rows_json
+
+        write_rows_json(args.json, rows)
+    print(render(rows))
+    return 1 if any(row.errors for row in rows) else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

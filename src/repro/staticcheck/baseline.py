@@ -1,0 +1,99 @@
+"""The grandfathered-findings baseline.
+
+The baseline file (``staticcheck-baseline.json`` at the repo root) lists
+findings that predate the gate and are excused until fixed.  Entries are
+keyed ``RULE:path:line`` — precise enough that fixing a site retires its
+entry, and brittle enough (on purpose) that unrelated edits force a
+refresh instead of silently excusing *new* findings that drifted onto a
+baselined line.
+
+The shipped baseline is **empty**: every real finding was fixed in the
+PR that introduced the gate, and CI asserts the file stays empty, so the
+mechanism exists only for downstream forks mid-cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+from repro.staticcheck.model import CheckReport, Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: the conventional baseline filename, looked up at the repo root
+BASELINE_FILENAME = "staticcheck-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or malformed."""
+
+
+def default_baseline_path() -> Optional[Path]:
+    """The conventional baseline location, if one exists.
+
+    Checks the working directory first (the checkout the gate runs in),
+    then the repo root inferred from the installed package (``src/`` two
+    levels above ``repro/staticcheck``).
+    """
+    candidates = [Path.cwd() / BASELINE_FILENAME]
+    package_root = Path(__file__).resolve().parent.parent.parent.parent
+    candidates.append(package_root / BASELINE_FILENAME)
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The set of excused finding keys (``RULE:path:line``)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from None
+    if not isinstance(data, dict) or "findings" not in data:
+        raise BaselineError(
+            f"malformed baseline {path}: expected an object with a "
+            f"'findings' list")
+    keys = set()
+    for entry in data["findings"]:
+        try:
+            keys.add(f"{entry['rule']}:{entry['path']}:{entry['line']}")
+        except (TypeError, KeyError):
+            raise BaselineError(
+                f"malformed baseline entry in {path}: {entry!r} "
+                f"(need rule/path/line)") from None
+    return keys
+
+
+def apply_baseline(report: CheckReport, keys: Set[str]
+                   ) -> Tuple[CheckReport, List[str]]:
+    """Drop baselined findings from ``report``; returns unused keys too.
+
+    Unused (stale) keys are surfaced so the gate can demand a refresh —
+    a baseline entry whose finding no longer exists is cleanup debt.
+    """
+    kept: List[Finding] = []
+    matched: Set[str] = set()
+    for finding in report.findings:
+        if finding.key in keys:
+            matched.add(finding.key)
+            report.baselined += 1
+        else:
+            kept.append(finding)
+    report.findings = kept
+    return report, sorted(keys - matched)
+
+
+def write_baseline(path: Path, report: CheckReport) -> None:
+    """Grandfather every current finding into ``path``."""
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "message": f.message}
+            for f in report.findings
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,223 @@
+"""A simple name-based call graph over the analyzed package.
+
+This is deliberately modest: calls resolve through per-module import
+maps, ``self.<method>()`` within a class, and locals constructed from a
+statically known class (``v = ClassName(...); v.m()``).  Attribute calls
+on values the pass cannot type are ignored — under-approximation keeps
+the reachability-scoped rules (DT301) free of avalanche false positives,
+and the rule still catches every direct and module-function path from an
+artefact entry point to a wall-clock read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.staticcheck.model import SourceFile, call_name
+
+
+def collect_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Local name -> canonical dotted path, from a module's import statements.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime`` maps ``datetime -> datetime.datetime``; relative imports
+    resolve against the importing module's package.
+    """
+    imports: Dict[str, str] = {}
+    package_parts = module.split(".")[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package_parts[: len(package_parts) - node.level + 1]
+                base = ".".join(base_parts + ([node.module] if node.module else []))
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def canonical(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """The canonical dotted name of a call target (or None if computed).
+
+    The leading segment is rewritten through the import map, so
+    ``np.random.default_rng`` canonicalizes to
+    ``numpy.random.default_rng`` regardless of aliasing.
+    """
+    dotted = call_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved = imports.get(head, head)
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method) body in the package."""
+
+    qualname: str                 # "pkg.mod:func" or "pkg.mod:Class.func"
+    module: str
+    node: ast.AST                 # FunctionDef / AsyncFunctionDef
+    cls: Optional[str] = None
+    calls: Set[str] = field(default_factory=set)   # resolved callee qualnames
+
+
+def _function_bodies(node: ast.AST) -> Iterable[ast.AST]:
+    """Every node of a function body, descending into nested defs/lambdas.
+
+    Nested functions and lambdas are treated as part of the enclosing
+    function: defining them does not run them, but a reachability linter
+    over-approximates there rather than missing a deferred callback.
+    """
+    for child in ast.walk(node):
+        yield child
+
+
+class CallGraph:
+    """Function index + resolved call edges for a set of source files."""
+
+    def __init__(self, files: Sequence[SourceFile]) -> None:
+        self.files = list(files)
+        self.imports: Dict[str, Dict[str, str]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: module -> {simple name -> qualname} for module-level functions
+        self._module_funcs: Dict[str, Dict[str, str]] = {}
+        #: canonical class path ("pkg.mod.Class") -> {method -> qualname}
+        self._class_methods: Dict[str, Dict[str, str]] = {}
+        self._index()
+        self._link()
+
+    # -- indexing --------------------------------------------------------
+
+    def _index(self) -> None:
+        for source in self.files:
+            self.imports[source.module] = collect_imports(
+                source.tree, source.module)
+            funcs: Dict[str, str] = {}
+            for node in source.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{source.module}:{node.name}"
+                    self.functions[qual] = FunctionInfo(
+                        qual, source.module, node)
+                    funcs[node.name] = qual
+                elif isinstance(node, ast.ClassDef):
+                    methods: Dict[str, str] = {}
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                            qual = f"{source.module}:{node.name}.{item.name}"
+                            self.functions[qual] = FunctionInfo(
+                                qual, source.module, item, cls=node.name)
+                            methods[item.name] = qual
+                    self._class_methods[
+                        f"{source.module}.{node.name}"] = methods
+            self._module_funcs[source.module] = funcs
+
+    # -- edge resolution -------------------------------------------------
+
+    def _resolve_target(self, dotted: Optional[str], module: str
+                        ) -> List[str]:
+        """Qualnames a canonical dotted call target may refer to."""
+        if dotted is None:
+            return []
+        imports = self.imports.get(module, {})
+        head, _, rest = dotted.partition(".")
+        resolved = imports.get(head, head)
+        full = f"{resolved}.{rest}" if rest else resolved
+        # module-level function in the same module
+        if not rest and head in self._module_funcs.get(module, {}):
+            return [self._module_funcs[module][head]]
+        # "pkg.mod.func" — split into (module, func)
+        mod_name, _, attr = full.rpartition(".")
+        if attr and attr in self._module_funcs.get(mod_name, {}):
+            return [self._module_funcs[mod_name][attr]]
+        # class constructor: "pkg.mod.Class" -> every __init__/__post_init__
+        if full in self._class_methods:
+            methods = self._class_methods[full]
+            return [methods[m] for m in ("__init__", "__post_init__", "__new__")
+                    if m in methods]
+        return []
+
+    def _local_instance_types(self, info: FunctionInfo) -> Dict[str, str]:
+        """Local name -> canonical class path for ``v = Cls(...)`` locals."""
+        types: Dict[str, str] = {}
+        for node in _function_bodies(info.node):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                dotted = canonical(node.value.func,
+                                   self.imports.get(info.module, {}))
+                if dotted is None and isinstance(node.value.func, ast.Name):
+                    dotted = node.value.func.id
+                if dotted in self._class_methods:
+                    types[node.targets[0].id] = dotted
+                else:
+                    # "Cls" defined in this module
+                    local = f"{info.module}.{dotted}" if dotted else None
+                    if local in self._class_methods:
+                        types[node.targets[0].id] = local
+        return types
+
+    def _link(self) -> None:
+        for info in self.functions.values():
+            imports = self.imports.get(info.module, {})
+            instance_types = self._local_instance_types(info)
+            for node in _function_bodies(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                # self.<method>() within the defining class
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)):
+                    receiver = func.value.id
+                    if receiver == "self" and info.cls is not None:
+                        methods = self._class_methods.get(
+                            f"{info.module}.{info.cls}", {})
+                        if func.attr in methods:
+                            info.calls.add(methods[func.attr])
+                            continue
+                    if receiver in instance_types:
+                        methods = self._class_methods.get(
+                            instance_types[receiver], {})
+                        if func.attr in methods:
+                            info.calls.add(methods[func.attr])
+                            continue
+                for qual in self._resolve_target(
+                        canonical(func, imports), info.module):
+                    info.calls.add(qual)
+
+    # -- reachability ----------------------------------------------------
+
+    def reachable(self, seeds: Iterable[str],
+                  skip_module=None) -> Set[str]:
+        """Qualnames reachable from ``seeds`` (BFS over resolved edges).
+
+        ``skip_module(module) -> bool`` prunes whole modules from the
+        traversal (DT301 prunes the harness: its orchestration
+        timestamps are run metadata, outside payload and cache key).
+        """
+        work = [s for s in seeds if s in self.functions]
+        seen: Set[str] = set()
+        while work:
+            qual = work.pop()
+            if qual in seen:
+                continue
+            info = self.functions.get(qual)
+            if info is None:
+                continue
+            if skip_module is not None and skip_module(info.module):
+                continue
+            seen.add(qual)
+            work.extend(info.calls - seen)
+        return seen

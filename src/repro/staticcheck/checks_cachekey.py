@@ -1,0 +1,97 @@
+"""Cache-key soundness rules: CK101 dynamic imports, CK102 dynamic
+getattr dispatch.
+
+The result store keys every cached cell on a fingerprint of the source
+tree (:func:`repro.util.hashing.tree_fingerprint`, harness excluded).
+Fingerprinted code that selects its callee *at run time* — a computed
+``importlib.import_module()`` target, ``__import__``, or a
+``getattr(module, name)(...)`` dispatch — can change behavior without
+changing any fingerprinted byte (for example by reaching outside the
+tree), which would serve stale cache hits.  The harness itself is
+outside the fingerprint and is exactly where such dispatch belongs
+(:func:`repro.harness.jobs.execute_job`), so harness modules are exempt.
+
+CK102 is scoped to *dispatch*: an immediately-called ``getattr`` result,
+or ``getattr`` on an imported module object.  Reading data attributes by
+computed name (field introspection over a literal name list) is not
+dispatch and stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from repro.staticcheck.callgraph import canonical, collect_imports
+from repro.staticcheck.model import Finding, SourceFile
+
+
+def _module_is_harness(module: str) -> bool:
+    return "harness" in module.split(".")
+
+
+def _is_constant_str(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def _receiver_is_module(node: ast.AST, imports: Dict[str, str]) -> bool:
+    """The getattr receiver is (statically) a module object."""
+    if isinstance(node, ast.Call):
+        return canonical(node.func, imports) in (
+            "importlib.import_module", "__import__")
+    if isinstance(node, ast.Name):
+        target = imports.get(node.id)
+        # "import x [as y]" maps to a bare module path; "from m import f"
+        # maps to "m.f" — only the former is a module object for sure
+        return target is not None and target == target.partition(".")[0] \
+            and node.id in imports
+    return False
+
+
+def check_file(source: SourceFile) -> List[Finding]:
+    if _module_is_harness(source.module):
+        return []
+    imports = collect_imports(source.tree, source.module)
+    findings: List[Finding] = []
+
+    def flag(rule: str, node: ast.AST, message: str) -> None:
+        findings.append(Finding(
+            rule=rule, path=source.rel, line=node.lineno,
+            col=node.col_offset + 1, message=message))
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = canonical(node.func, imports)
+        if dotted == "__import__":
+            flag("CK101", node,
+                 "__import__() in fingerprinted code — the code "
+                 "fingerprint cannot see the dispatch target; route "
+                 "dynamic loading through the harness registry")
+        elif dotted == "importlib.import_module":
+            if node.args and not _is_constant_str(node.args[0]):
+                flag("CK101", node,
+                     "importlib.import_module() with a computed target "
+                     "in fingerprinted code — the fingerprint cannot "
+                     "see what runs; use the harness-side loaders "
+                     "(repro.harness.jobs) or a literal import")
+        elif dotted == "getattr" and len(node.args) >= 2 \
+                and not _is_constant_str(node.args[1]):
+            # dispatch only: an immediately-called result, or a module
+            # receiver — data-attribute introspection is not flagged
+            if _receiver_is_module(node.args[0], imports):
+                flag("CK102", node,
+                     "getattr() with a computed name on a module "
+                     "object — fingerprint-invisible dispatch; resolve "
+                     "through the harness registry instead")
+
+        # getattr(...)(...) — the result is called straight away
+        if isinstance(node.func, ast.Call):
+            inner = canonical(node.func.func, imports)
+            if inner == "getattr" and len(node.func.args) >= 2 \
+                    and not _is_constant_str(node.func.args[1]):
+                flag("CK102", node,
+                     "calling a getattr() result selected by a computed "
+                     "name — fingerprint-invisible dispatch; use an "
+                     "explicit dispatch table")
+    return findings

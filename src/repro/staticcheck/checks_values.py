@@ -1,0 +1,59 @@
+"""Float-hygiene rules: FH101 float dict keys, FH102 float equality.
+
+The PR 2 ``_program_cache`` incident is the template: a raw float used
+as a cache key made equal-after-arithmetic scales miss each other
+(``0.1 + 0.2 - 0.2 != 0.1``).  The sanctioned idiom is rounding to a
+fixed precision first (``round(float(scale), 9)``) — a ``round(...)``
+call is not a literal, so the idiom passes both rules by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.model import Finding, SourceFile, is_float_constant
+
+
+def check_file(source: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(rule: str, node: ast.AST, message: str) -> None:
+        findings.append(Finding(
+            rule=rule, path=source.rel, line=node.lineno,
+            col=node.col_offset + 1, message=message))
+
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None and is_float_constant(key):
+                    flag("FH101", key,
+                         "float literal as a dict key — round() to a "
+                         "fixed precision (cache-key soundness)")
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and is_float_constant(target.slice)):
+                    flag("FH101", target,
+                         "float literal as a subscript key — round() to "
+                         "a fixed precision first")
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "setdefault"
+                and node.args and is_float_constant(node.args[0])):
+            flag("FH101", node.args[0],
+                 "float literal as a setdefault key — round() to a "
+                 "fixed precision first")
+        elif isinstance(node, ast.Compare):
+            comparators = [node.left] + list(node.comparators)
+            for op, (left, right) in zip(node.ops,
+                                         zip(comparators, comparators[1:])):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if is_float_constant(left) or is_float_constant(right):
+                    flag("FH102", node,
+                         "== / != against a float literal — exact float "
+                         "comparison; round() both sides or compare with "
+                         "a tolerance")
+                    break
+    return findings

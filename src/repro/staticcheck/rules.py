@@ -1,0 +1,111 @@
+"""The staticcheck rule registry.
+
+Every rule has a stable ID (``DT*`` determinism, ``FH*`` float hygiene,
+``FS*`` fork safety, ``CK*`` cache-key soundness), a severity, and a
+one-line summary; the full reference lives in docs/staticcheck.md.  The
+registry is what the CLI's ``--rule`` filter, the pragma parser and the
+JSON report key off, so IDs are append-only: retiring a rule leaves its
+ID reserved.
+
+``REGISTRY_VERSION`` participates in the ``ext_staticcheck`` artefact's
+store config descriptor — bump it whenever a rule is added, removed, or
+its detection logic changes enough to alter findings, so cached
+staticcheck cells invalidate with the rule set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+#: bump on any change to the rule set or a rule's detection logic
+REGISTRY_VERSION = 1
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named, suppressible invariant check."""
+
+    id: str
+    name: str            # short kebab-case slug (also valid in pragmas)
+    severity: Severity
+    family: str          # determinism | float-hygiene | fork-safety | cache-key
+    summary: str
+
+
+#: declaration order = documentation order
+_ALL_RULES = (
+    Rule("DT101", "set-iteration", Severity.WARNING, "determinism",
+         "iteration over a set/frozenset without sorted() — order depends "
+         "on hashing, not the program"),
+    Rule("DT102", "unsorted-dir-listing", Severity.WARNING, "determinism",
+         "iteration over os.listdir()/glob()/iterdir() output without "
+         "sorted() — order depends on the filesystem"),
+    Rule("DT201", "unseeded-random", Severity.ERROR, "determinism",
+         "module-global random / numpy.random use — draw from an "
+         "explicitly seeded generator instead"),
+    Rule("DT301", "wallclock-in-artefact", Severity.ERROR, "determinism",
+         "time/datetime/uuid wall-clock value reachable from an artefact "
+         "payload or hashing entry point"),
+    Rule("FH101", "float-dict-key", Severity.ERROR, "float-hygiene",
+         "raw float used as a dict key — round() to a fixed precision "
+         "first (the PR 2 _program_cache bug class)"),
+    Rule("FH102", "float-equality", Severity.WARNING, "float-hygiene",
+         "== / != against a float literal — compare rounded values or "
+         "use an epsilon"),
+    Rule("FS101", "module-mutable-state", Severity.ERROR, "fork-safety",
+         "module-level mutable container (or global rebinding) mutated "
+         "from function code — state smuggled across fork()"),
+    Rule("FS102", "module-lock", Severity.WARNING, "fork-safety",
+         "module-level lock/condition/semaphore — held locks are copied "
+         "locked into fork children"),
+    Rule("FS103", "module-rng", Severity.ERROR, "fork-safety",
+         "module-level RNG instance — fork children inherit identical "
+         "generator state"),
+    Rule("FS104", "module-open-handle", Severity.ERROR, "fork-safety",
+         "module-level open() handle — shared file offsets across "
+         "fork()ed workers"),
+    Rule("CK101", "dynamic-import", Severity.WARNING, "cache-key",
+         "non-literal importlib.import_module()/__import__() in "
+         "fingerprinted code — the code fingerprint cannot see the "
+         "dispatch target"),
+    Rule("CK102", "dynamic-getattr", Severity.WARNING, "cache-key",
+         "getattr() with a computed attribute name in fingerprinted "
+         "code — fingerprint-invisible dispatch"),
+)
+
+#: id -> Rule (insertion order = documentation order).  Built in one
+#: shot at import time: the registry is never mutated afterwards, so it
+#: is identical in the scheduler parent and every fork worker (FS101).
+RULES: Dict[str, Rule] = {rule.id: rule for rule in _ALL_RULES}
+
+#: slug -> id, for pragmas written with the readable name
+_BY_NAME: Dict[str, str] = {rule.name: rule.id for rule in _ALL_RULES}
+
+if len(RULES) != len(_ALL_RULES) or len(_BY_NAME) != len(_ALL_RULES):
+    raise AssertionError("duplicate staticcheck rule id or slug")
+
+
+def resolve(token: str) -> str:
+    """Map a rule ID or slug (as written in pragmas / --rule) to its ID.
+
+    Raises :class:`ValueError` for an unknown token so typo'd pragmas and
+    CLI filters fail loudly instead of silently suppressing nothing.
+    """
+    token = token.strip()
+    if token in RULES:
+        return token
+    if token in _BY_NAME:
+        return _BY_NAME[token]
+    known = ", ".join(list(RULES) + sorted(_BY_NAME))
+    raise ValueError(f"unknown staticcheck rule {token!r}; known: {known}")
+
+
+def resolve_many(tokens: Iterable[str]) -> List[str]:
+    return [resolve(token) for token in tokens]

@@ -1,0 +1,50 @@
+"""Float cache-key hygiene: the rounded-scale idiom, pinned by tests.
+
+The FH101 bug class (staticcheck): a raw float used as a dict key makes
+cache identity depend on float-parsing noise — ``0.1`` computed two
+different ways may be two different keys, silently double-computing (or
+worse, double-*storing*) a cell.  The repo's sanctioned idiom is
+``round(float(scale), 9)``; these tests pin the two representative
+sites — the workload program cache and the columnar trace-materialization
+cache — so a regression to raw-float keys fails loudly.
+"""
+
+import pytest
+
+from repro.workloads import get_workload
+
+#: noise far below the 9-decimal rounding grain but enough to change
+#: the raw float bit pattern (0.1 + 1e-12 != 0.1)
+NOISE = 1e-12
+
+
+def test_noise_changes_the_raw_float():
+    """Guard: the perturbation really is a different float object/value."""
+    assert 0.1 + NOISE != 0.1
+
+
+def test_program_cache_key_is_rounded():
+    workload = get_workload("go")
+    baseline = workload.program(0.1)
+    assert workload.program(0.1 + NOISE) is baseline
+    assert workload.program(0.1 - NOISE) is baseline
+
+
+def test_program_cache_distinguishes_real_scales():
+    workload = get_workload("com")
+    assert workload.program(0.1) is not workload.program(0.2)
+
+
+def test_materialized_trace_cache_key_is_rounded():
+    numpy = pytest.importorskip("numpy")
+    del numpy
+    from repro.columnar.batch import clear_trace_cache, materialized_trace
+
+    workload = get_workload("li")
+    clear_trace_cache()
+    try:
+        baseline = materialized_trace(workload, scale=0.05)
+        assert materialized_trace(workload, scale=0.05 + NOISE) is baseline
+        assert materialized_trace(workload, scale=0.05 - NOISE) is baseline
+    finally:
+        clear_trace_cache()

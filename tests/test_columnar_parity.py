@@ -50,3 +50,58 @@ def test_workload_parity(abbrev):
     report = diff_workload(get_workload(abbrev), SCALE,
                            get_backend("numpy"), check_trace=False)
     assert report.ok, str(report)
+
+
+# -- the non-default-DDT fallback path -----------------------------------
+#
+# Configurations outside the vectorizable shape (split tables, ways,
+# record_all_loads, ...) take NumPyBackend's per-instruction replay
+# fallback.  It must (a) actually be the code path taken, and (b) agree
+# with the reference backend exactly — for pair sets and for the
+# Figure 7 locality breakdowns.
+
+from repro.columnar.kernels import _is_default_config
+from repro.dependence.ddt import DDTConfig
+
+FALLBACK_SCALE = 0.1
+FALLBACK_ABBREVS = ["go", "com", "swm"]   # int loop, int pointer, fp array
+FALLBACK_CONFIGS = {
+    "ways4": DDTConfig(size=128, ways=4),
+    "split": DDTConfig(size=128, split=True),
+    "stores_only": DDTConfig(size=128, record_loads=False),
+    "all_loads": DDTConfig(size=128, record_all_loads=True),
+    "no_touch": DDTConfig(size=128, touch_on_hit=False),
+}
+
+
+@pytest.mark.parametrize("label", sorted(FALLBACK_CONFIGS))
+def test_fallback_configs_are_not_vectorizable(label):
+    """Guard: each config really exercises the fallback, and the paper
+    default really takes the vectorized path."""
+    assert not _is_default_config(FALLBACK_CONFIGS[label])
+    assert _is_default_config(DDTConfig(size=128))
+
+
+@pytest.mark.parametrize("label", sorted(FALLBACK_CONFIGS))
+@pytest.mark.parametrize("abbrev", FALLBACK_ABBREVS)
+def test_fallback_pair_parity(abbrev, label):
+    config = FALLBACK_CONFIGS[label]
+    workload = get_workload(abbrev)
+    reference = get_backend("reference").dependence_pairs(
+        workload, FALLBACK_SCALE, config)
+    numpy_pairs = get_backend("numpy").dependence_pairs(
+        workload, FALLBACK_SCALE, config)
+    assert numpy_pairs == reference
+
+
+@pytest.mark.parametrize("label", sorted(FALLBACK_CONFIGS))
+@pytest.mark.parametrize("abbrev", FALLBACK_ABBREVS)
+def test_fallback_locality_parity(abbrev, label):
+    config = FALLBACK_CONFIGS[label]
+    workload = get_workload(abbrev)
+    reference = get_backend("reference").address_value_locality(
+        workload, FALLBACK_SCALE, ddt_config=config)
+    vectorized = get_backend("numpy").address_value_locality(
+        workload, FALLBACK_SCALE, ddt_config=config)
+    assert vectorized.address == reference.address
+    assert vectorized.value == reference.value
