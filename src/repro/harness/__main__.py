@@ -2,12 +2,24 @@
 
     python -m repro.harness run summary --scale 0.1 --workers 8
     python -m repro.harness run fig2 --scale 0.5 --workers 4
+    python -m repro.harness run fig2 --exec-backend worker --workers 3
+    python -m repro.harness enqueue fig2 --scale 0.5 --store S --queue Q
+    python -m repro.harness worker --queue Q --store S
     python -m repro.harness status
     python -m repro.harness clean
 
 ``run`` prints the same sections as the serial ``python -m repro``
-equivalent (stdout is byte-identical); orchestration chatter — per-cell
-progress and the manifest summary — goes to stderr.
+equivalent (stdout is byte-identical across execution backends);
+orchestration chatter — per-cell progress and the manifest summary —
+goes to stderr.  ``--exec-backend`` picks *where* cells execute (inline /
+fork / worker); ``--backend`` still picks the *simulation* backend
+(reference / numpy) of backend-aware artefacts.
+
+``enqueue`` + ``worker`` are the distributed pieces: enqueue serializes
+a grid's cache-miss cells into a persistent queue directory, and any
+number of workers — on this host or any host sharing the queue and
+store directories — lease and execute them.  ``run --exec-backend
+worker --workers 0`` enqueues and waits for external workers only.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.harness.backends import BACKEND_NAMES
 from repro.harness.manifest import STATUS_HIT, JobRecord, RunManifest
 from repro.harness.registry import ARTEFACTS
 from repro.harness.store import ResultStore, code_fingerprint
@@ -48,6 +61,11 @@ def _parser() -> argparse.ArgumentParser:
                      help="simulation backend for backend-aware artefacts "
                           "(fig2, fig5, fig7); participates in the store "
                           "cache key")
+    run.add_argument("--exec-backend", choices=BACKEND_NAMES, default=None,
+                     help="execution backend (default: inline when "
+                          "--workers 0, else fork); 'worker' drains a "
+                          "persistent job queue with --workers local "
+                          "workers plus any external ones")
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes (default: cpu count; "
                           "0 = run inline)")
@@ -59,6 +77,12 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--store", default=None, metavar="DIR",
                      help="result store directory "
                           "(default results/store)")
+    run.add_argument("--queue", default=None, metavar="DIR",
+                     help="job queue directory for the worker backend "
+                          "(default <store>/queue)")
+    run.add_argument("--lease-ttl", type=float, default=None,
+                     help="seconds before a queue lease may be reclaimed "
+                          "(worker backend; default 300)")
     run.add_argument("--no-cache", action="store_true",
                      help="recompute every cell (results still stored)")
     run.add_argument("--manifest", default=None, metavar="PATH",
@@ -67,12 +91,54 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-cell progress on stderr")
 
+    enqueue = sub.add_parser(
+        "enqueue", help="serialize a grid's cache-miss cells into a "
+                        "persistent job queue (drained by 'worker')")
+    enqueue.add_argument("artefact",
+                         help="one of: " + ", ".join(ARTEFACTS))
+    enqueue.add_argument("--scale", type=float, default=None)
+    enqueue.add_argument("--workloads", nargs="*", default=None,
+                         metavar="ABBREV")
+    enqueue.add_argument("--backend", choices=("reference", "numpy"),
+                         default=None,
+                         help="simulation backend param (fig2, fig5, fig7)")
+    enqueue.add_argument("--store", default=None, metavar="DIR")
+    enqueue.add_argument("--queue", default=None, metavar="DIR",
+                         help="queue directory (default <store>/queue)")
+    enqueue.add_argument("--no-cache", action="store_true",
+                         help="enqueue cells even when already cached")
+
+    worker = sub.add_parser(
+        "worker", help="run a standalone queue worker: lease jobs, "
+                       "execute them, write results to the store")
+    worker.add_argument("--queue", required=True, metavar="DIR")
+    worker.add_argument("--store", required=True, metavar="DIR")
+    worker.add_argument("--retries", type=int, default=1,
+                        help="total retry budget per job, shared across "
+                             "all workers (default %(default)s)")
+    worker.add_argument("--lease-ttl", type=float, default=None,
+                        help="lease seconds before reclaim (default 300)")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        help="idle poll interval in seconds "
+                             "(default %(default)s)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after claiming this many jobs")
+    worker.add_argument("--keep-alive", action="store_true",
+                        help="idle for new work instead of exiting once "
+                             "the queue is drained")
+    worker.add_argument("--quiet", action="store_true")
+
     status = sub.add_parser("status", help="show store and last-run stats")
     status.add_argument("--store", default=None, metavar="DIR")
+    status.add_argument("--queue", default=None, metavar="DIR",
+                        help="also report this queue directory "
+                             "(default <store>/queue when present)")
 
     clean = sub.add_parser("clean",
-                           help="delete every cached result and manifest")
+                           help="delete every cached result, manifest "
+                                "and queued job")
     clean.add_argument("--store", default=None, metavar="DIR")
+    clean.add_argument("--queue", default=None, metavar="DIR")
     return parser
 
 
@@ -97,7 +163,8 @@ def _cmd_run(args) -> int:
         workers=args.workers if args.workers is not None else None,
         store=store, use_cache=not args.no_cache, timeout=args.timeout,
         retries=args.retries, manifest_path=args.manifest,
-        progress=_progress(args.quiet),
+        progress=_progress(args.quiet), backend=args.exec_backend,
+        queue_dir=args.queue, lease_ttl=args.lease_ttl,
     )
     if kwargs["workers"] is None:
         import os
@@ -119,8 +186,9 @@ def _cmd_run(args) -> int:
     elif name == "report_card":
         from repro.experiments import report_card
 
-        kwargs.pop("manifest_path")
-        kwargs.pop("progress")
+        for unused in ("manifest_path", "progress", "queue_dir",
+                       "lease_ttl"):
+            kwargs.pop(unused)
         criteria = report_card.run(scale=scale, workloads=args.workloads,
                                    **kwargs)
         print(report_card.render(criteria))
@@ -149,11 +217,67 @@ def _cmd_run(args) -> int:
     return 1 if manifest.failed else 0
 
 
+def _queue_for(args, store: ResultStore, require: bool = False):
+    """The JobQueue named by ``--queue`` (default ``<store>/queue``)."""
+    from repro.harness.queue import DEFAULT_LEASE_TTL, JobQueue
+
+    root = args.queue if args.queue is not None else store.root / "queue"
+    ttl = getattr(args, "lease_ttl", None)
+    return JobQueue(root, lease_ttl=ttl if ttl else DEFAULT_LEASE_TTL)
+
+
+def _cmd_enqueue(args) -> int:
+    from repro.experiments.runner import DEFAULT_SCALE
+    from repro.harness.jobs import expand_jobs
+
+    if args.artefact not in ARTEFACTS:
+        print(f"unknown artefact {args.artefact!r}; known: "
+              + ", ".join(ARTEFACTS), file=sys.stderr)
+        return 2
+    if args.backend is not None and args.artefact not in BACKEND_AWARE:
+        print(f"--backend applies only to: {', '.join(sorted(BACKEND_AWARE))}"
+              f" (got artefact {args.artefact!r})", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+    queue = _queue_for(args, store)
+    scale = DEFAULT_SCALE if args.scale is None else args.scale
+    params = {"backend": args.backend} if args.backend else None
+    jobs = expand_jobs(args.artefact, scale, args.workloads, params)
+    enqueued = hits = 0
+    for spec in jobs:
+        key = store.key_for(spec)
+        if not args.no_cache and store.get(key) is not None:
+            hits += 1
+            continue
+        queue.enqueue(spec, key)
+        enqueued += 1
+    print(f"enqueued {enqueued} jobs ({hits} cache hits skipped) "
+          f"into {queue.root}")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.harness.worker import worker_loop
+
+    store = ResultStore(args.store)
+    queue = _queue_for(args, store)
+    say = None if args.quiet else (
+        lambda message: print(f"  {message}", file=sys.stderr))
+    stats = worker_loop(queue, store, retries=args.retries, poll=args.poll,
+                        max_jobs=args.max_jobs,
+                        keep_alive=args.keep_alive, progress=say)
+    print(f"worker {stats.worker_id}: {stats.claimed} claimed, "
+          f"{stats.completed} completed, {stats.failed} failed attempts",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_status(args) -> int:
     store = ResultStore(args.store)
     objects = store.objects()
     manifests = store.manifests()
     quarantined = store.quarantined()
+    stale = store.stale_tmps()
     print(f"store:        {store.root}")
     print(f"objects:      {len(objects)} ({store.size_bytes():,} bytes)")
     if objects:
@@ -164,10 +288,30 @@ def _cmd_status(args) -> int:
     print(f"quarantined:  {len(quarantined)}")
     for path in quarantined:
         print(f"  {path.name}: {store.quarantine_reason(path)}")
+    if stale:
+        print(f"stale tmps:   {len(stale)} (crashed writers; "
+              f"'clean' removes them)")
+    queue = _queue_for(args, store)
+    if args.queue is not None or queue.root.is_dir():
+        stats = queue.stats()
+        print(f"queue:        {queue.root}")
+        print(f"  jobs:       {stats['jobs']}")
+        print(f"  done:       {stats['done']} ({stats['failed']} failed)")
+        print(f"  leased:     {stats['leased']}")
+        print(f"  ready:      {stats['ready']}"
+              + (f" (+{stats['backing_off']} backing off)"
+                 if stats["backing_off"] else ""))
     print(f"fingerprint:  {code_fingerprint()}")
     if manifests:
         last = RunManifest.load(manifests[-1])
         print(f"last run:     {last.summary_line()}")
+        if last.backend:
+            print(f"  backend:    {last.backend}")
+        by_worker = last.by_worker()
+        if by_worker:
+            print("  computed by: " + ", ".join(
+                f"{worker}={count}"
+                for worker, count in sorted(by_worker.items())))
         if last.failed:
             for record in last.failed:
                 print(f"  FAILED {record.artefact}/{record.workload}")
@@ -177,6 +321,9 @@ def _cmd_status(args) -> int:
 def _cmd_clean(args) -> int:
     store = ResultStore(args.store)
     removed = store.clean()
+    queue = _queue_for(args, store)
+    if args.queue is not None or queue.root.is_dir():
+        removed += queue.clean()
     print(f"removed {removed} files from {store.root}")
     return 0
 
@@ -185,6 +332,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "enqueue":
+        return _cmd_enqueue(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "status":
         return _cmd_status(args)
     return _cmd_clean(args)

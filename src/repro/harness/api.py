@@ -73,7 +73,10 @@ def run_artefacts(requests: Sequence[tuple],
                   retry_backoff: float = Scheduler.DEFAULT_RETRY_BACKOFF,
                   allow_failures: bool = False,
                   manifest_path: Optional[os.PathLike] = None,
-                  progress: Optional[ProgressFn] = None) -> SweepOutcome:
+                  progress: Optional[ProgressFn] = None,
+                  backend: Optional[str] = None,
+                  queue_dir: Optional[os.PathLike] = None,
+                  lease_ttl: Optional[float] = None) -> SweepOutcome:
     """Run a batch of ``(name, scale[, params])`` artefact requests.
 
     All requests' jobs execute in one pooled scheduler pass.  With
@@ -81,6 +84,13 @@ def run_artefacts(requests: Sequence[tuple],
     aggregate (and is listed in ``ArtefactRun.failed`` / the manifest);
     otherwise any failure raises :class:`HarnessError` after the sweep
     completes, so one bad cell never cancels in-flight work.
+
+    ``backend`` picks the execution backend (``inline``/``fork``/
+    ``worker``); the default follows ``workers`` — inline when 0, fork
+    otherwise.  The ``worker`` backend drains a persistent job queue
+    (``queue_dir``, default ``<store>/queue``) with ``workers`` local
+    worker processes; external ``python -m repro.harness worker``
+    processes sharing the directories join the same drain.
     """
     normalized: List[ArtefactRequest] = []
     for request in requests:
@@ -99,7 +109,8 @@ def run_artefacts(requests: Sequence[tuple],
 
     scheduler = Scheduler(workers=workers, timeout=timeout, retries=retries,
                           progress=progress, term_grace=term_grace,
-                          retry_backoff=retry_backoff)
+                          retry_backoff=retry_backoff, backend=backend,
+                          queue_dir=queue_dir, lease_ttl=lease_ttl)
     outcome = scheduler.run(all_jobs, store=store, use_cache=use_cache)
 
     if manifest_path is None and store is not None:
@@ -129,7 +140,8 @@ def rows_for(name: str, scale: float,
              store: Optional[ResultStore] = None,
              use_cache: bool = True,
              timeout: Optional[float] = None,
-             retries: int = 1) -> list:
+             retries: int = 1,
+             backend: Optional[str] = None) -> list:
     """The aggregated rows of one artefact, computed through the harness.
 
     This is the drop-in replacement for ``module.run(scale, workloads)``:
@@ -139,7 +151,8 @@ def rows_for(name: str, scale: float,
     outcome = run_artefacts([(name, scale, params)], workloads,
                             workers=workers, store=store,
                             use_cache=use_cache, timeout=timeout,
-                            retries=retries, manifest_path=None)
+                            retries=retries, backend=backend,
+                            manifest_path=None)
     return outcome.runs[0].rows
 
 

@@ -71,6 +71,32 @@ class JobSpec:
             "config": get_artefact(self.artefact).config_descriptor(),
         }
 
+    def to_json(self) -> dict:
+        """A JSON-able form that :meth:`from_json` rebuilds exactly.
+
+        This is what the work queue persists: a job must survive the trip
+        through a queue file to a worker on another host and come back
+        *equal* (same dataclass equality, same store key), so tuple params
+        are written as lists and re-tupled on the way in.
+        """
+        return {
+            "artefact": self.artefact,
+            "workload": self.workload,
+            "scale": self.scale,
+            "params": [[key, list(value) if isinstance(value, tuple)
+                        else value]
+                       for key, value in self.params],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        """Rebuild a spec serialized by :meth:`to_json` (exact round-trip)."""
+        params = tuple(
+            (key, tuple(value) if isinstance(value, list) else value)
+            for key, value in data["params"])
+        return cls(artefact=data["artefact"], workload=data["workload"],
+                   scale=float(data["scale"]), params=params)
+
 
 def make_job(artefact: str, workload: str, scale: float,
              params: Optional[dict] = None) -> JobSpec:

@@ -7,6 +7,7 @@ after every scheduler run.  Schema (see docs/harness.md):
       "run_id": "20260805-143022.518200-1a2b3c",
       "created": "2026-08-05T14:30:22",
       "workers": 4,
+      "backend": "fork",
       "fingerprint": "0f3a...",
       "jobs": [
         {"artefact": "fig2", "workload": "li", "scale": 0.1,
@@ -17,6 +18,10 @@ after every scheduler run.  Schema (see docs/harness.md):
       "totals": {"jobs": 180, "hits": 162, "computed": 18,
                  "failed": 0, "wall_time": 12.3}
     }
+
+``worker`` attributes the cell to whoever executed it: a pid for forked
+children, a ``host:pid`` string for queue workers (which may live on
+another machine), ``null`` for in-process execution.
 """
 
 from __future__ import annotations
@@ -28,11 +33,18 @@ import uuid
 from datetime import datetime
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 STATUS_HIT = "hit"
 STATUS_COMPUTED = "computed"
 STATUS_FAILED = "failed"
+
+#: per-cell progress callback fired as records are created
+ProgressFn = Callable[["JobRecord"], None]
+
+#: who executed a cell: forked-child pid, queue-worker ``host:pid``
+#: string, or None for in-process execution
+WorkerRef = Optional[Union[int, str]]
 
 
 @dataclass
@@ -46,7 +58,7 @@ class JobRecord:
     key: str
     status: str
     wall_time: float = 0.0
-    worker: Optional[int] = None    # worker pid; None = ran in-process
+    worker: WorkerRef = None
     attempts: int = 1
     error: Optional[str] = None     # traceback text for failed jobs
 
@@ -62,6 +74,7 @@ class RunManifest:
     run_id: str = ""
     created: str = ""
     workers: int = 0
+    backend: str = ""               # execution backend of the run
     fingerprint: str = ""
     jobs: List[JobRecord] = field(default_factory=list)
     wall_time: float = 0.0
@@ -95,6 +108,21 @@ class RunManifest:
     def cache_hit_rate(self) -> float:
         return self.hits / len(self.jobs) if self.jobs else 0.0
 
+    def by_worker(self) -> Dict[str, int]:
+        """Computed-cell counts per executing worker.
+
+        Keys are the manifest's worker references rendered as strings
+        (pid, ``host:pid``, or ``inline`` for in-process cells) — the
+        queue backend's per-worker attribution at a glance.
+        """
+        counts: Dict[str, int] = {}
+        for job in self.jobs:
+            if job.status != STATUS_COMPUTED:
+                continue
+            name = "inline" if job.worker is None else str(job.worker)
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
     def totals(self) -> dict:
         return {
             "jobs": len(self.jobs),
@@ -117,6 +145,7 @@ class RunManifest:
             "run_id": self.run_id,
             "created": self.created,
             "workers": self.workers,
+            "backend": self.backend,
             "fingerprint": self.fingerprint,
             "jobs": [asdict(job) for job in self.jobs],
             "totals": self.totals(),
@@ -136,6 +165,7 @@ class RunManifest:
             run_id=data["run_id"],
             created=data["created"],
             workers=data.get("workers", 0),
+            backend=data.get("backend", ""),
             fingerprint=data.get("fingerprint", ""),
             jobs=[JobRecord(**job) for job in data.get("jobs", [])],
         )

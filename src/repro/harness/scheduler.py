@@ -1,50 +1,49 @@
-"""The job scheduler: a crash-isolated ``multiprocessing`` fan-out.
+"""The scheduler: a thin orchestrator over execution backends.
 
-Each cache-miss job runs in its own worker process (``fork`` start
-method), so a worker that dies — segfault, OOM kill, unhandled exception
-— fails exactly one cell and never takes the sweep down.  Jobs get a
-per-job wall-clock timeout and a bounded number of retries; whatever
-remains failed after the retry budget is recorded in the manifest with
-its traceback and the sweep continues.
+The scheduler owns everything that must be identical no matter where
+jobs execute — deduplication, store-key computation, cache lookups,
+manifest records and aggregation bookkeeping — and delegates the actual
+running to an :mod:`execution backend <repro.harness.backends>`:
 
-A worker that outlives its timeout is first sent SIGTERM; if it ignores
-that (blocked in C code, masked signals, a deliberate chaos hang) it is
-SIGKILLed after ``term_grace`` seconds — the sweep never blocks on an
-unkillable child.  Retries are spaced by exponential backoff with
-deterministic jitter (hashed from the job identity and attempt number),
-so a crashing cell does not hot-loop and repeated runs back off
-identically.
+* ``inline`` (``workers=0``): jobs run serially in the calling process;
+  this is what plain ``python -m repro summary`` uses.
+* ``fork`` (``workers>=1``, the default): one crash-isolated forked
+  child per job with per-job timeout, SIGTERM→SIGKILL escalation and
+  bounded retry.
+* ``worker``: jobs are serialized into a persistent leased work queue
+  (``repro.harness.queue``) and drained by worker processes — spawned
+  locally, or running standalone on any host that shares the store
+  directory (``python -m repro.harness worker``).
 
-``workers=0`` executes jobs inline in the calling process (no
-subprocesses, timeouts ignored) with identical bookkeeping — that is the
-mode the plain serial ``python -m repro summary`` path uses, which is why
-parallel and serial runs agree by construction: both produce rows through
-the same job decomposition and aggregation, differing only in where each
-cell executes.
+Because rows always travel through the same store serialization and are
+recomposed in the same paper order, all backends produce byte-identical
+reports for the same grid.  Retry pacing is key-derived (hashed from the
+job identity, see ``backends.base.retry_backoff_delay``), so even retry
+schedules are reproducible across backends.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import multiprocessing.connection
 import os
 import time
-import traceback
 from collections import deque
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from repro.harness.jobs import JobSpec, execute_job
+from repro.harness.backends import (
+    BACKEND_NAMES,
+    BackendConfig,
+    RunState,
+    make_backend,
+    retry_backoff_delay,
+)
+from repro.harness.jobs import JobSpec
 from repro.harness.manifest import (
-    STATUS_COMPUTED,
-    STATUS_FAILED,
     STATUS_HIT,
     JobRecord,
+    ProgressFn,
     RunManifest,
 )
 from repro.harness.store import ResultStore, code_fingerprint
-from repro.util.hashing import stable_hash
-
-ProgressFn = Callable[[JobRecord], None]
 
 
 class HarnessError(RuntimeError):
@@ -52,35 +51,8 @@ class HarnessError(RuntimeError):
     asked for all-or-nothing results."""
 
 
-def _worker_main(spec: JobSpec, key: str, store_root, conn) -> None:
-    """Child-process entry: run one job, persist it, report back."""
-    start = time.time()
-    try:
-        rows = execute_job(spec)
-        elapsed = time.time() - start
-        if store_root is not None:
-            ResultStore(store_root).put(key, spec, rows, elapsed)
-        conn.send(("ok", rows, elapsed))
-    except BaseException:
-        conn.send(("err", traceback.format_exc(), time.time() - start))
-    finally:
-        conn.close()
-
-
-class _Attempt:
-    """Book-keeping for one in-flight worker process."""
-
-    def __init__(self, spec: JobSpec, key: str, attempts: int, proc, conn):
-        self.spec = spec
-        self.key = key
-        self.attempts = attempts
-        self.proc = proc
-        self.conn = conn
-        self.started = time.time()
-
-
 class Scheduler:
-    """Fan a job list out over worker processes, through the store."""
+    """Fan a job list out over an execution backend, through the store."""
 
     #: seconds a terminated worker gets to exit before SIGKILL
     DEFAULT_TERM_GRACE = 5.0
@@ -91,7 +63,10 @@ class Scheduler:
                  timeout: Optional[float] = None, retries: int = 1,
                  progress: Optional[ProgressFn] = None,
                  term_grace: float = DEFAULT_TERM_GRACE,
-                 retry_backoff: float = DEFAULT_RETRY_BACKOFF) -> None:
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 backend: Optional[str] = None,
+                 queue_dir: Optional[os.PathLike] = None,
+                 lease_ttl: Optional[float] = None) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 0:
@@ -102,12 +77,20 @@ class Scheduler:
             raise ValueError("term_grace must be >= 0")
         if retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+        if backend is not None and backend not in BACKEND_NAMES:
+            raise ValueError(f"unknown execution backend {backend!r}; "
+                             f"known: {', '.join(BACKEND_NAMES)}")
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
         self.term_grace = term_grace
         self.retry_backoff = retry_backoff
+        #: chosen lazily from ``workers`` unless pinned explicitly
+        self.backend_name = backend or ("inline" if workers == 0
+                                        else "fork")
+        self.queue_dir = queue_dir
+        self.lease_ttl = lease_ttl
 
     # -- public API ------------------------------------------------------
 
@@ -116,7 +99,8 @@ class Scheduler:
         """Execute ``jobs``; returns rows per job plus the manifest."""
         started = time.time()
         manifest = RunManifest(workers=self.workers,
-                               fingerprint=code_fingerprint())
+                               fingerprint=code_fingerprint(),
+                               backend=self.backend_name)
         unique: List[JobSpec] = []
         seen = set()
         for spec in jobs:
@@ -138,155 +122,30 @@ class Scheduler:
             else:
                 pending.append((spec, 1, 0.0))
 
-        if self.workers == 0:
-            self._run_inline(pending, keys, store, results, records)
-        else:
-            self._run_pool(pending, keys, store, results, records)
+        if pending:
+            backend = make_backend(
+                self.backend_name,
+                BackendConfig(workers=self.workers, timeout=self.timeout,
+                              retries=self.retries,
+                              term_grace=self.term_grace,
+                              retry_backoff=self.retry_backoff),
+                queue_dir=self.queue_dir, lease_ttl=self.lease_ttl)
+            backend.execute(RunState(pending=pending, keys=keys,
+                                     store=store, results=results,
+                                     records=records, record=self._record))
 
         manifest.jobs = [records[spec] for spec in unique]
         manifest.wall_time = time.time() - started
         return SchedulerRun(results=results, manifest=manifest)
 
-    # -- execution strategies -------------------------------------------
-
-    def _run_inline(self, pending, keys, store, results, records) -> None:
-        while pending:
-            spec, attempts, not_before = pending.popleft()
-            delay = not_before - time.time()
-            if delay > 0:
-                time.sleep(delay)
-            key = keys[spec]
-            start = time.time()
-            try:
-                rows = execute_job(spec)
-            except Exception:
-                self._fail(pending, records, spec, key, attempts,
-                           traceback.format_exc(), time.time() - start)
-                continue
-            elapsed = time.time() - start
-            if store is not None:
-                store.put(key, spec, rows, elapsed)
-            results[spec] = rows
-            records[spec] = self._record(spec, key, STATUS_COMPUTED,
-                                         wall_time=elapsed, attempts=attempts)
-
-    def _run_pool(self, pending, keys, store, results, records) -> None:
-        ctx = multiprocessing.get_context("fork")
-        store_root = store.root if store is not None else None
-        active: List[_Attempt] = []
-        try:
-            while pending or active:
-                # Scan the queue once per round; entries still backing off
-                # rotate to the back without consuming a worker slot.
-                for _ in range(len(pending)):
-                    if len(active) >= self.workers:
-                        break
-                    spec, attempts, not_before = pending.popleft()
-                    if not_before > time.time():
-                        pending.append((spec, attempts, not_before))
-                        continue
-                    recv, send = ctx.Pipe(duplex=False)
-                    proc = ctx.Process(
-                        target=_worker_main,
-                        args=(spec, keys[spec], store_root, send))
-                    proc.start()
-                    send.close()
-                    active.append(_Attempt(spec, keys[spec], attempts,
-                                           proc, recv))
-                if active:
-                    multiprocessing.connection.wait(
-                        [attempt.conn for attempt in active], timeout=0.05)
-                else:
-                    time.sleep(0.01)  # everything is backing off
-                still_active: List[_Attempt] = []
-                for attempt in active:
-                    finished = self._reap(pending, results, records,
-                                          attempt)
-                    if not finished:
-                        still_active.append(attempt)
-                active = still_active
-        finally:
-            for attempt in active:
-                self._stop_worker(attempt.proc)
-
-    def _stop_worker(self, proc) -> None:
-        """Terminate a worker, escalating to SIGKILL if it will not die.
-
-        ``join`` after a plain ``terminate`` hangs forever on a worker
-        that ignores SIGTERM; SIGKILL cannot be ignored.
-        """
-        proc.terminate()
-        proc.join(self.term_grace)
-        if proc.is_alive():
-            proc.kill()
-            proc.join()
-
-    def _reap(self, pending, results, records, attempt: _Attempt) -> bool:
-        """Check one in-flight attempt; True when it has been resolved."""
-        spec, key = attempt.spec, attempt.key
-        if attempt.conn.poll():
-            try:
-                message = attempt.conn.recv()
-            except EOFError:
-                message = None
-            attempt.proc.join()
-            attempt.conn.close()
-            if message is not None and message[0] == "ok":
-                _, rows, elapsed = message
-                results[spec] = rows
-                records[spec] = self._record(
-                    spec, key, STATUS_COMPUTED, wall_time=elapsed,
-                    worker=attempt.proc.pid, attempts=attempt.attempts)
-            else:
-                error = (message[1] if message else
-                         f"worker died without reporting a result "
-                         f"(exit code {attempt.proc.exitcode})")
-                self._fail(pending, records, spec, key, attempt.attempts,
-                           error, time.time() - attempt.started,
-                           worker=attempt.proc.pid)
-            return True
-        if not attempt.proc.is_alive():
-            attempt.conn.close()
-            self._fail(
-                pending, records, spec, key, attempt.attempts,
-                f"worker died without reporting a result "
-                f"(exit code {attempt.proc.exitcode})",
-                time.time() - attempt.started, worker=attempt.proc.pid)
-            return True
-        if (self.timeout is not None
-                and time.time() - attempt.started > self.timeout):
-            self._stop_worker(attempt.proc)
-            attempt.conn.close()
-            self._fail(pending, records, spec, key, attempt.attempts,
-                       f"timed out after {self.timeout:g}s",
-                       time.time() - attempt.started,
-                       worker=attempt.proc.pid)
-            return True
-        return False
-
     # -- record helpers --------------------------------------------------
 
-    def _fail(self, pending, records, spec, key, attempts, error,
-              wall_time, worker=None) -> None:
-        if attempts <= self.retries:
-            not_before = time.time() + self._backoff(spec, attempts)
-            pending.append((spec, attempts + 1, not_before))
-            return
-        records[spec] = self._record(spec, key, STATUS_FAILED,
-                                     wall_time=wall_time, worker=worker,
-                                     attempts=attempts, error=error)
-
     def _backoff(self, spec: JobSpec, attempts: int) -> float:
-        """Retry delay: exponential in the attempt count, with jitter
-        hashed from the job identity so reruns back off identically."""
-        if self.retry_backoff <= 0:
-            return 0.0
-        base = self.retry_backoff * (2 ** (attempts - 1))
-        frac = int(stable_hash((spec.label, attempts), length=8), 16)
-        return base * (0.5 + 0.5 * frac / 0xFFFFFFFF)
+        """Retry delay for ``spec``: the shared key-derived schedule."""
+        return retry_backoff_delay(spec, attempts, self.retry_backoff)
 
     def _record(self, spec: JobSpec, key: str, status: str,
-                wall_time: float = 0.0, worker: Optional[int] = None,
+                wall_time: float = 0.0, worker=None,
                 attempts: int = 1, error: Optional[str] = None) -> JobRecord:
         record = JobRecord(
             artefact=spec.artefact, workload=spec.workload, scale=spec.scale,

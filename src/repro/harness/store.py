@@ -162,15 +162,42 @@ class ResultStore:
                 key, reason, target_dir)
 
     def put(self, key: str, spec, rows: list, elapsed: float = 0.0) -> None:
-        """Store rows for ``key`` (atomic write; last writer wins)."""
+        """Store rows for ``key`` (atomic write; last writer wins).
+
+        Safe under concurrent multi-process writers — including workers
+        on other hosts sharing the store directory: the payload goes to
+        a per-pid temp file, is flushed and fsynced, and only then moves
+        into place with an atomic ``os.replace``.  A writer killed at
+        any point leaves either the previous object or none — never a
+        truncated one — plus at worst a stale ``.tmp`` file that is
+        never served (see :meth:`stale_tmps`).
+        """
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = rows_to_payload(rows)
         payload["cell"] = spec.key_fields()
         payload["elapsed"] = elapsed
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        self._fsync_dir(path.parent)
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Persist a rename by fsyncing its directory (best effort)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     # -- maintenance -----------------------------------------------------
 
@@ -179,6 +206,18 @@ class ResultStore:
         if not objects_dir.is_dir():
             return []
         return sorted(objects_dir.glob("*/*.json"))
+
+    def stale_tmps(self) -> List[Path]:
+        """Leftover ``.tmp`` files from writers that died mid-``put``.
+
+        Harmless (they are never served — lookups go by exact object
+        name) but visible, so ``status`` can report them and ``clean``
+        removes them.
+        """
+        objects_dir = self.root / "objects"
+        if not objects_dir.is_dir():
+            return []
+        return sorted(objects_dir.glob("*/.*.tmp"))
 
     def cell_backends(self) -> dict:
         """Cached-cell counts per producing simulation backend.
@@ -235,7 +274,8 @@ class ResultStore:
         quarantined = [p for path in self.quarantined()
                        for p in (path, path.with_suffix(".reason"))
                        if p.exists()]
-        for path in self.objects() + self.manifests() + quarantined:
+        for path in (self.objects() + self.stale_tmps() + self.manifests()
+                     + quarantined):
             path.unlink()
             removed += 1
         for sub in sorted(self.root.glob("objects/*")):

@@ -1,0 +1,116 @@
+"""The standalone queue worker: lease, execute, store, repeat.
+
+``python -m repro.harness worker --queue DIR --store DIR`` runs this loop
+in any process on any host that can see the two directories.  Several
+workers drain one queue cooperatively: the lease protocol (see
+:mod:`repro.harness.queue`) guarantees a job is executed by one worker at
+a time, crashed workers' jobs are reclaimed, and results land in the
+content-addressed store under the same keys — and with byte-identical
+payloads — that inline or fork execution would produce.
+
+By default a worker exits once every queued job has a terminal outcome
+(``drain`` mode, what the worker execution backend uses); with
+``keep_alive`` it idles and keeps polling for new work, which is the
+long-running-fleet mode: start workers first, ``enqueue`` from anywhere,
+watch ``status``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.harness.backends.base import retry_backoff_delay
+from repro.harness.jobs import execute_job
+from repro.harness.queue import Claim, JobQueue, default_worker_id
+from repro.harness.store import ResultStore
+
+#: seconds between queue polls when nothing is claimable
+DEFAULT_POLL = 0.05
+
+
+@dataclass
+class WorkerStats:
+    """What one worker-loop invocation did."""
+
+    worker_id: str
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0        # failed attempts (retryable or terminal)
+    finalized: int = 0     # jobs this worker marked terminally failed
+    labels: List[str] = field(default_factory=list)
+
+
+def worker_loop(queue: JobQueue, store: ResultStore, *,
+                worker_id: Optional[str] = None,
+                retries: int = 1,
+                retry_backoff: float = 0.1,
+                poll: float = DEFAULT_POLL,
+                max_jobs: Optional[int] = None,
+                keep_alive: bool = False,
+                progress: Optional[Callable[[str], None]] = None
+                ) -> WorkerStats:
+    """Drain ``queue`` into ``store``; returns this worker's tally.
+
+    ``retries`` bounds attempts per job exactly like the scheduler's
+    ``--retries``: a job is tried at most ``retries + 1`` times *in
+    total, across all workers* (the attempt count travels in the queue's
+    state sidecar, so a retry on another worker still counts).  Retry
+    backoff uses the shared key-derived jitter, so the schedule is
+    reproducible no matter which worker retries.
+    """
+    worker_id = worker_id or default_worker_id()
+    stats = WorkerStats(worker_id=worker_id)
+    say = progress or (lambda message: None)
+    while True:
+        claim = queue.claim(worker_id, max_attempts=retries + 1)
+        if claim is None:
+            if not keep_alive and not queue.remaining():
+                break  # every queued job has a terminal outcome
+            time.sleep(poll)
+            continue
+        stats.claimed += 1
+        stats.labels.append(claim.spec.label)
+        _run_claim(queue, store, claim, stats, retries, retry_backoff, say)
+        if max_jobs is not None and stats.claimed >= max_jobs:
+            break
+    return stats
+
+
+def _run_claim(queue: JobQueue, store: ResultStore, claim: Claim,
+               stats: WorkerStats, retries: int, retry_backoff: float,
+               say: Callable[[str], None]) -> None:
+    """Execute one leased job and record its outcome in the queue."""
+    spec = claim.spec
+    start = time.time()
+    try:
+        rows = execute_job(spec)
+    except (KeyboardInterrupt, SystemExit):
+        # Interrupted mid-job: hand the lease back uncharged-looking
+        # (the claim already counted the attempt) and stop the loop.
+        queue.release(claim.key, error="worker interrupted mid-attempt")
+        raise
+    except Exception:
+        error = traceback.format_exc()
+        stats.failed += 1
+        if claim.attempt >= retries + 1:
+            queue.finish_failed(claim.key, error=error,
+                                attempts=claim.attempt, worker=claim.worker)
+            stats.finalized += 1
+            say(f"{spec.label}: failed terminally "
+                f"(attempt {claim.attempt}/{retries + 1})")
+        else:
+            delay = retry_backoff_delay(spec, claim.attempt, retry_backoff)
+            queue.release(claim.key, error=error,
+                          not_before=time.time() + delay)
+            say(f"{spec.label}: attempt {claim.attempt} failed, "
+                f"retry in {delay:.2f}s")
+        return
+    elapsed = time.time() - start
+    store.put(claim.key, spec, rows, elapsed)
+    queue.complete(claim.key, worker=claim.worker, elapsed=elapsed,
+                   attempts=claim.attempt)
+    stats.completed += 1
+    say(f"{spec.label}: computed ({elapsed:.2f}s)")

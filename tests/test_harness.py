@@ -16,6 +16,7 @@ from repro.harness import (
     RunManifest,
     Scheduler,
     expand_jobs,
+    retry_backoff_delay,
     rows_for,
     run_artefacts,
 )
@@ -81,6 +82,76 @@ class TestStore:
         assert not store.has(key)
 
 
+class TestStoreCrashSafety:
+    """``put`` is atomic: a writer killed at any point never leaves a
+    truncated object, only (at worst) a stale ``.tmp`` file."""
+
+    @staticmethod
+    def _fork(target, *args):
+        import multiprocessing
+
+        proc = multiprocessing.get_context("fork").Process(
+            target=target, args=args)
+        proc.start()
+        proc.join(timeout=60)
+        return proc
+
+    def test_writer_killed_before_replace_leaves_no_object(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_job("fig2", "li", SCALE)
+        rows = fig2.run(scale=SCALE, workloads=["li"])
+        key = store.key_for(spec)
+
+        def die_mid_put():
+            import os
+            import signal
+
+            def killing_replace(src, dst):
+                os.kill(os.getpid(), signal.SIGKILL)
+
+            os.replace = killing_replace
+            ResultStore(tmp_path).put(key, spec, rows)
+
+        proc = self._fork(die_mid_put)
+        assert proc.exitcode == -9  # SIGKILL, not a clean exit
+        # No object was exposed; the leftover tmp is visible, never served.
+        assert store.get(key) is None
+        assert not store.has(key)
+        stale = store.stale_tmps()
+        assert len(stale) == 1
+        assert stale[0].name.endswith(".tmp")
+        # A later writer succeeds and clean() sweeps the leftover.
+        store.put(key, spec, rows)
+        assert store.get(key) == rows
+        assert store.clean() == 2  # the object and the stale tmp
+        assert store.stale_tmps() == []
+
+    def test_concurrent_writers_same_key_leave_valid_object(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_job("fig2", "li", SCALE)
+        rows = fig2.run(scale=SCALE, workloads=["li"])
+        key = store.key_for(spec)
+
+        def write():
+            ResultStore(tmp_path).put(key, spec, rows)
+
+        procs = [self._fork(write) for _ in range(4)]
+        assert all(proc.exitcode == 0 for proc in procs)
+        assert store.get(key) == rows
+        assert store.stale_tmps() == []
+
+    def test_truncated_tmp_is_never_served(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_job("fig2", "li", SCALE)
+        key = store.key_for(spec)
+        path = store._object_path(key)
+        path.parent.mkdir(parents=True)
+        tmp = path.with_name(f".{path.name}.12345.tmp")
+        tmp.write_text('{"row_type": "trunc', encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stale_tmps() == [tmp]
+
+
 # ---------------------------------------------------------------------------
 # parallel == serial
 
@@ -132,6 +203,29 @@ class TestCaching:
         # the hit keys are exactly the keys computed on the first run
         assert ({job.key for job in first.jobs}
                 == {job.key for job in second.jobs})
+
+    def test_manifest_records_backend_and_worker_attribution(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        path = tmp_path / "manifest.json"
+        outcome = run_artefacts([("fig2", SCALE)], ["li", "go"], workers=2,
+                                store=store, manifest_path=path)
+        assert outcome.manifest.backend == "fork"
+        loaded = RunManifest.load(path)
+        assert loaded.backend == "fork"
+        assert all(isinstance(job.worker, int) for job in loaded.jobs)
+        assert sum(loaded.by_worker().values()) == 2
+
+        inline = run_artefacts([("fig2", SCALE)], ["li"], workers=0).manifest
+        assert inline.backend == "inline"
+        assert inline.jobs[0].worker is None
+        assert inline.by_worker() == {"inline": 1}
+
+    def test_manifest_without_backend_field_loads_with_default(self, tmp_path):
+        path = tmp_path / "old.json"
+        data = RunManifest(workers=1).to_json()
+        del data["backend"]
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert RunManifest.load(path).backend == ""
 
     def test_manifest_written_into_store_by_default(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -278,6 +372,19 @@ class TestRetryBackoff:
     def test_zero_backoff_disables_delay(self):
         scheduler = Scheduler(workers=0, retry_backoff=0.0)
         assert scheduler._backoff(make_job("fig2", "li", SCALE), 3) == 0.0
+
+    def test_backoff_is_sensitive_to_params(self):
+        plain = retry_backoff_delay(make_job("fig2", "li", SCALE), 2, 0.1)
+        tuned = retry_backoff_delay(
+            make_job("fig2", "li", SCALE, {"max_n": 8}), 2, 0.1)
+        assert plain != tuned
+
+    def test_backoff_derives_from_the_job_key_not_worker_state(self):
+        """Any backend (or host) computes the same retry schedule."""
+        spec = make_job("fig2", "li", SCALE)
+        scheduler = Scheduler(workers=0, retry_backoff=0.1)
+        assert (scheduler._backoff(spec, 2)
+                == retry_backoff_delay(spec, 2, 0.1))
 
     def test_retries_are_spaced_by_backoff(self, monkeypatch):
         """The failing cell's attempts must be separated in time."""
