@@ -32,6 +32,7 @@ from repro.chaos.inject import (
     WORKER_FAULTS,
     AppliedFault,
     PredictorInjector,
+    apply_predictor_fault,
     corrupt_store_object,
     corrupt_trace_text,
     worker_saboteur,
@@ -74,6 +75,7 @@ __all__ = [
     "TRACE_FAULTS",
     "Violation",
     "WORKER_FAULTS",
+    "apply_predictor_fault",
     "corrupt_store_object",
     "corrupt_trace_text",
     "first_violation",

@@ -192,6 +192,21 @@ class PredictorInjector:
                 AppliedFault(site, model, target, wrong_before))
 
 
+def apply_predictor_fault(engine: CloakingEngine, model: str,
+                          seed: int) -> AppliedFault:
+    """Apply one predictor fault to a live engine right now.
+
+    The one-shot form of :class:`PredictorInjector` for callers that do
+    not walk a trace by index — the serving layer (:mod:`repro.serve`)
+    uses it to corrupt a session's predictor shard mid-stream during
+    chaos soak drills.  Returns the :class:`AppliedFault` (``target`` is
+    ``None`` when no eligible state existed yet).
+    """
+    injector = PredictorInjector([(0, model)], seed)
+    injector.maybe_inject(0, engine)
+    return injector.applied[0]
+
+
 # ---------------------------------------------------------------------------
 # trace-layer injection
 

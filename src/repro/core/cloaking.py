@@ -121,6 +121,23 @@ class CloakingStats:
     def misspeculation_rar(self) -> float:
         return self._frac(self.wrong_rar)
 
+    def as_dict(self) -> dict:
+        """Counters plus derived rates, JSON-able.
+
+        The serving layer (:mod:`repro.serve`) reports per-session
+        accuracy over the wire through this one shape, so clients and the
+        offline experiments read the same field names.
+        """
+        return {
+            "loads": self.loads,
+            "correct_raw": self.correct_raw,
+            "correct_rar": self.correct_rar,
+            "wrong_raw": self.wrong_raw,
+            "wrong_rar": self.wrong_rar,
+            "coverage": self.coverage,
+            "misspeculation_rate": self.misspeculation_rate,
+        }
+
 
 class CloakingEngine:
     """A complete cloaking/bypassing prediction mechanism.

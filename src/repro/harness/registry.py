@@ -152,6 +152,17 @@ def _staticcheck_cells() -> List[str]:
     return scopes()
 
 
+def _serve_soak_config() -> dict:
+    from repro.core import CloakingConfig
+    from repro.serve.protocol import DEGRADED_REASONS, PROTO_VERSION
+    from repro.serve.soak import SOAK_FAULTS, SOAK_VERSION
+
+    return {"proto": PROTO_VERSION, "soak_version": SOAK_VERSION,
+            "degraded_reasons": list(DEGRADED_REASONS),
+            "faults": list(SOAK_FAULTS),
+            "cloaking": repr(CloakingConfig.paper_accuracy())}
+
+
 def _chaos_config() -> dict:
     from repro.chaos.inject import PREDICTOR_FAULTS
     from repro.chaos.oracle import ORACLE_VERSION
@@ -224,6 +235,8 @@ for _spec in (
                      cells=_staticcheck_cells),
         ArtefactSpec("chaos", "repro.chaos.artefact",
                      "Chaos: fault injection", None, _chaos_config),
+        ArtefactSpec("ext_serve_soak", "repro.serve.artefact",
+                     "Extension: serve soak", None, _serve_soak_config),
 ):
     register(_spec)
 del _spec

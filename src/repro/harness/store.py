@@ -28,6 +28,7 @@ import importlib
 import json
 import logging
 import os
+import time
 from functools import lru_cache
 from pathlib import Path
 from typing import List, Optional
@@ -38,6 +39,12 @@ from repro.util.hashing import stable_hash, tree_fingerprint
 
 #: Default store location (relative to the working directory).
 DEFAULT_ROOT = Path("results") / "store"
+
+#: seconds a ``.tmp`` file must sit untouched before it counts as stale.
+#: ``put`` writes, fsyncs and renames its temp file within moments, so a
+#: ``.tmp`` older than this belongs to a dead writer — while anything
+#: younger may be an in-flight ``put`` that must not be reported or swept.
+DEFAULT_TMP_AGE = 60.0
 
 
 @lru_cache(maxsize=1)
@@ -207,17 +214,31 @@ class ResultStore:
             return []
         return sorted(objects_dir.glob("*/*.json"))
 
-    def stale_tmps(self) -> List[Path]:
+    def stale_tmps(self, min_age: float = DEFAULT_TMP_AGE) -> List[Path]:
         """Leftover ``.tmp`` files from writers that died mid-``put``.
 
         Harmless (they are never served — lookups go by exact object
         name) but visible, so ``status`` can report them and ``clean``
-        removes them.
+        removes them.  Only files untouched for at least ``min_age``
+        seconds qualify: a younger ``.tmp`` may belong to a concurrent
+        in-flight ``put`` (another worker, another host) whose temp file
+        must never be reported as damage — much less swept out from
+        under the live writer.  Pass ``min_age=0.0`` to list every
+        ``.tmp`` regardless of age.
         """
         objects_dir = self.root / "objects"
         if not objects_dir.is_dir():
             return []
-        return sorted(objects_dir.glob("*/.*.tmp"))
+        cutoff = time.time() - min_age
+        stale = []
+        for path in sorted(objects_dir.glob("*/.*.tmp")):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # the racing writer just renamed it into place
+            if mtime <= cutoff:
+                stale.append(path)
+        return stale
 
     def cell_backends(self) -> dict:
         """Cached-cell counts per producing simulation backend.
@@ -269,7 +290,9 @@ class ResultStore:
 
     def clean(self) -> int:
         """Delete every cached object, manifest and quarantined file;
-        returns the number of files removed."""
+        returns the number of files removed.  ``.tmp`` files younger
+        than :data:`DEFAULT_TMP_AGE` are left alone — they may belong to
+        a live concurrent ``put`` on another worker or host."""
         removed = 0
         quarantined = [p for path in self.quarantined()
                        for p in (path, path.with_suffix(".reason"))

@@ -17,6 +17,7 @@ watch ``status``.
 
 from __future__ import annotations
 
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -60,22 +61,40 @@ def worker_loop(queue: JobQueue, store: ResultStore, *,
     state sidecar, so a retry on another worker still counts).  Retry
     backoff uses the shared key-derived jitter, so the schedule is
     reproducible no matter which worker retries.
+
+    SIGTERM — the fleet drain signal — is converted to :class:`SystemExit`
+    for the duration of the loop, so a worker killed mid-job travels the
+    interrupt path in :func:`_run_claim` and *releases its held lease*
+    on the way out instead of stranding the job until lease expiry.
     """
     worker_id = worker_id or default_worker_id()
     stats = WorkerStats(worker_id=worker_id)
     say = progress or (lambda message: None)
-    while True:
-        claim = queue.claim(worker_id, max_attempts=retries + 1)
-        if claim is None:
-            if not keep_alive and not queue.remaining():
-                break  # every queued job has a terminal outcome
-            time.sleep(poll)
-            continue
-        stats.claimed += 1
-        stats.labels.append(claim.spec.label)
-        _run_claim(queue, store, claim, stats, retries, retry_backoff, say)
-        if max_jobs is not None and stats.claimed >= max_jobs:
-            break
+
+    def _drain(signum, frame):
+        raise SystemExit(128 + signal.SIGTERM)
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        previous = None  # not the main thread: rely on the caller's handler
+    try:
+        while True:
+            claim = queue.claim(worker_id, max_attempts=retries + 1)
+            if claim is None:
+                if not keep_alive and not queue.remaining():
+                    break  # every queued job has a terminal outcome
+                time.sleep(poll)
+                continue
+            stats.claimed += 1
+            stats.labels.append(claim.spec.label)
+            _run_claim(queue, store, claim, stats, retries, retry_backoff,
+                       say)
+            if max_jobs is not None and stats.claimed >= max_jobs:
+                break
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
     return stats
 
 

@@ -1,0 +1,50 @@
+"""Prediction-as-a-service: the cloaking/RAR predictor behind a socket.
+
+Clients open sessions over a newline-delimited-JSON stream protocol
+(:mod:`repro.serve.protocol`), send trace records, and receive per-record
+prediction/committed-value responses.  Every session owns a private
+:class:`~repro.core.cloaking.CloakingEngine` — its own DDT, Synonym File
+and DPNT — so one misbehaving client can never touch another's predictor
+state.
+
+Robustness is the headline feature, not an afterthought:
+
+* bounded per-session queues with admission control — overload sheds
+  records with typed degraded responses instead of growing memory;
+* deadline-aware handling — a record that waited too long is answered
+  ``degraded: deadline`` (predictor bypassed, coverage flagged) rather
+  than timed out;
+* a circuit breaker around the simulation backend with deterministic
+  exponential backoff (the harness's spec-hash jitter);
+* graceful drain on SIGTERM that flushes every open session.
+
+``python -m repro.serve`` runs the server, the load generator
+(:mod:`repro.serve.loadgen` — constant/burst/wave/random-walk traffic)
+and the chaos soak drill (:mod:`repro.serve.soak`), which injects
+:mod:`repro.chaos` predictor faults into live sessions mid-stream and
+verifies through the golden differential oracle that committed state
+stays correct while the service sheds load.  See docs/serve.md.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.loadgen import LoadReport, TRAFFIC_SHAPES, run_loadgen
+from repro.serve.protocol import DEGRADED_REASONS, PROTO_VERSION
+from repro.serve.server import PredictionServer, ServeConfig
+from repro.serve.session import BackendError, Session, SimulationBackend
+from repro.serve.soak import SoakRow, run_soak
+
+__all__ = [
+    "BackendError",
+    "CircuitBreaker",
+    "DEGRADED_REASONS",
+    "LoadReport",
+    "PROTO_VERSION",
+    "PredictionServer",
+    "ServeConfig",
+    "Session",
+    "SimulationBackend",
+    "SoakRow",
+    "TRAFFIC_SHAPES",
+    "run_loadgen",
+    "run_soak",
+]

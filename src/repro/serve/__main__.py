@@ -1,0 +1,191 @@
+"""``python -m repro.serve`` — run, load and drill the prediction service.
+
+    python -m repro.serve serve --port 7399 --allow-chaos
+    python -m repro.serve loadgen --port 7399 --shape burst \\
+        --sessions 4 --duration 3
+    python -m repro.serve soak --workloads li com --scale 0.1 \\
+        --require-degraded --max-p99-ms 2000
+
+``serve`` runs a server until SIGTERM/SIGINT, then drains gracefully
+(flushes every open session, answers stragglers ``degraded: draining``).
+``loadgen`` drives a running server with one of the traffic shapes and
+prints the verified load report — its exit status is non-zero on any
+protocol error or committed-state violation, so a loadgen run doubles as
+a smoke check.  ``soak`` is the self-contained chaos drill: in-process
+server, overload burst, live fault injection, differential-oracle
+verification and a graceful drain, with optional service-level gates for
+CI (``--require-degraded``, ``--max-p99-ms``) and the
+``results/BENCH_serve.json`` summary (``--bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.runner import select_workloads
+from repro.serve import artefact
+from repro.serve.loadgen import TRAFFIC_SHAPES, run_loadgen
+from repro.serve.server import PredictionServer, ServeConfig
+from repro.serve.soak import DEFAULT_SEED
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run a prediction server until SIGTERM")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7399)
+    serve.add_argument("--max-sessions", type=int, default=64)
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--deadline-ms", type=float, default=250.0,
+                       help="default per-record deadline (default "
+                            "%(default)s; 0 disables)")
+    serve.add_argument("--service-delay", type=float, default=0.0,
+                       help="modelled per-record backend cost in seconds")
+    serve.add_argument("--allow-chaos", action="store_true",
+                       help="honour chaos injection messages (drills only)")
+    serve.add_argument("--drain-grace", type=float, default=5.0)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a running server with shaped traffic")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7399)
+    loadgen.add_argument("--shape", choices=TRAFFIC_SHAPES, default="burst")
+    loadgen.add_argument("--sessions", type=int, default=4)
+    loadgen.add_argument("--base-rate", type=float, default=100.0,
+                         help="records/sec per session (default %(default)s)")
+    loadgen.add_argument("--peak-rate", type=float, default=400.0,
+                         help="records/sec per session at the peak "
+                              "(default %(default)s)")
+    loadgen.add_argument("--duration", type=float, default=3.0,
+                         help="seconds per session (default %(default)s)")
+    loadgen.add_argument("--workload", default="com",
+                         help="kernel streamed as records "
+                              "(default %(default)s)")
+    loadgen.add_argument("--scale", type=float, default=0.1)
+    loadgen.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    loadgen.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-session deadline override")
+
+    soak = commands.add_parser(
+        "soak", help="the self-contained chaos soak drill")
+    soak.add_argument("--workloads", nargs="*", default=["com"],
+                      metavar="ABBREV")
+    soak.add_argument("--scale", type=float, default=0.1)
+    soak.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    soak.add_argument("--sessions", type=int, default=4)
+    soak.add_argument("--overload", type=float, default=4.0,
+                      help="burst load as a multiple of sustainable "
+                           "throughput (default %(default)s)")
+    soak.add_argument("--bench", default=None, metavar="PATH",
+                      help="write the service-level summary JSON "
+                           "(sessions/sec, p50/p99) to PATH")
+    soak.add_argument("--json", default=None, metavar="PATH",
+                      help="write per-kernel rows as JSON")
+    soak.add_argument("--require-degraded", action="store_true",
+                      help="fail unless the overload produced at least one "
+                           "typed degraded response (proves shedding, not "
+                           "luck, absorbed the burst)")
+    soak.add_argument("--max-p99-ms", type=float, default=None,
+                      help="fail when any drill's overall p99 exceeds this")
+    return parser
+
+
+def _serve(args) -> int:
+    config = ServeConfig(
+        host=args.host, port=args.port, max_sessions=args.max_sessions,
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        service_delay=args.service_delay, allow_chaos=args.allow_chaos,
+        drain_grace=args.drain_grace)
+    server = PredictionServer(config)
+
+    async def _run() -> bool:
+        started = asyncio.ensure_future(server.run())
+        while server.port is None and not started.done():
+            await asyncio.sleep(0.01)
+        if server.port is not None:
+            print(f"serving on {config.host}:{server.port} "
+                  f"(chaos {'enabled' if config.allow_chaos else 'disabled'};"
+                  f" SIGTERM drains)", flush=True)
+        return await started
+
+    clean = asyncio.run(_run())
+    stats = server.stats
+    print(f"drained {'cleanly' if clean else 'WITH STRAGGLERS'}: "
+          f"{stats.sessions_opened} sessions, {stats.records} records, "
+          f"{stats.predicted} predicted, {stats.degraded_total} degraded")
+    return 0 if clean else 1
+
+
+def _loadgen(args) -> int:
+    try:
+        select_workloads([args.workload])
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    report = run_loadgen(
+        args.host, args.port, sessions=args.sessions, shape=args.shape,
+        base_rate=args.base_rate, peak_rate=args.peak_rate,
+        duration=args.duration, workload=args.workload, scale=args.scale,
+        seed=args.seed, deadline_ms=args.deadline_ms)
+    for key, value in sorted(report.as_dict().items()):
+        print(f"{key}: {value}")
+    ok = (report.protocol_errors == 0 and not report.violations
+          and report.sessions > 0)
+    return 0 if ok else 1
+
+
+def _soak(args) -> int:
+    try:
+        specs = select_workloads(args.workloads)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    rows = [artefact.run_soak(spec.abbrev, args.scale, seed=args.seed,
+                              sessions=args.sessions,
+                              overload=args.overload)
+            for spec in specs]
+    if args.json:
+        from repro.harness.store import write_rows_json
+
+        write_rows_json(args.json, rows)
+    if args.bench:
+        artefact.write_bench(rows, Path(args.bench))
+    print(artefact.render(rows))
+    failures = [row.workload for row in rows if not row.passed]
+    if args.require_degraded:
+        for row in rows:
+            if row.degraded_total == 0:
+                failures.append(f"{row.workload} (no degraded responses — "
+                                f"the burst was not actually shed)")
+    if args.max_p99_ms is not None:
+        for row in rows:
+            if row.p99_ms > args.max_p99_ms:
+                failures.append(f"{row.workload} (p99 {row.p99_ms:.1f}ms > "
+                                f"{args.max_p99_ms:g}ms)")
+    for failure in failures:
+        print(f"SOAK GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "loadgen":
+        return _loadgen(args)
+    return _soak(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The serving stack's single wall-clock read.
+
+Deadlines, breaker cooldowns and latency percentiles are wall-clock
+quantities by definition, so the service is allowed what the experiment
+modules are not (staticcheck DT301) — but through exactly one call site,
+so the exemption stays auditable and tests can reason about every clock
+read in the package going through :func:`now`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Seconds on a monotonic clock (never steps backwards)."""
+    # staticcheck: ignore[DT301] operational code: the serving layer's
+    # one sanctioned wall-clock read (deadlines / breaker / latency)
+    return time.monotonic()

@@ -1,0 +1,139 @@
+"""The wire protocol: newline-delimited JSON over a byte stream.
+
+One JSON object per line, UTF-8, every object carrying a ``t`` (type)
+field.  The client speaks first::
+
+    {"t": "hello", "proto": 1, "session": "client-a"}
+
+and the server answers ``welcome`` (session accepted) or ``busy`` (typed
+rejection: ``sessions-full`` / ``name-taken`` / ``draining``).  After
+that the client streams:
+
+* ``rec`` — one trace record: ``{"t": "rec", "i": 7, "r": "R 7 ..."}``
+  where ``r`` is a :func:`repro.trace.serialize.format_record` line and
+  ``i`` is the client's request id, echoed back so responses can be
+  matched even when degraded responses overtake queued predictions.
+* ``chaos`` — inject a fault into *this session's* predictor shard
+  (only honoured when the server runs with ``allow_chaos``).
+* ``stats`` — ask for a mid-stream session stats snapshot.
+* ``bye`` — flush and close; the server answers ``goodbye`` with final
+  session statistics.
+
+Every ``rec`` gets exactly one ``pred`` response.  A ``pred`` with
+``degraded: true`` means the predictor was bypassed — the record was
+**not** observed, coverage is flagged, and ``reason`` names why with one
+of :data:`DEGRADED_REASONS`.  A non-degraded ``pred`` for a load carries
+``committed``: the value-token (:func:`repro.trace.serialize.encode_value`)
+of the value that reached architectural state, which clients — and the
+soak drill's differential oracle — can compare against ground truth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+PROTO_VERSION = 1
+
+#: longest accepted wire line; a longer one is a protocol error (the
+#: asyncio stream reader is opened with this limit so a hostile client
+#: cannot balloon server memory with one unterminated line)
+MAX_LINE = 1 << 16
+
+# client -> server message types
+MSG_HELLO = "hello"
+MSG_RECORD = "rec"
+MSG_CHAOS = "chaos"
+MSG_STATS = "stats"
+MSG_BYE = "bye"
+
+# server -> client message types
+MSG_WELCOME = "welcome"
+MSG_BUSY = "busy"
+MSG_PRED = "pred"
+MSG_CHAOS_ACK = "chaos-ack"
+MSG_STATS_REPLY = "stats-reply"
+MSG_GOODBYE = "goodbye"
+MSG_ERROR = "error"
+
+#: why a record was answered degraded instead of predicted
+REASON_QUEUE_FULL = "queue-full"      # bounded session queue was full
+REASON_DEADLINE = "deadline"          # waited past its deadline in queue
+REASON_BREAKER = "breaker-open"       # backend circuit breaker is open
+REASON_BACKEND = "backend-error"      # the backend failed on this record
+REASON_DRAINING = "draining"          # server is draining (SIGTERM)
+
+DEGRADED_REASONS = (REASON_QUEUE_FULL, REASON_DEADLINE, REASON_BREAKER,
+                    REASON_BACKEND, REASON_DRAINING)
+
+#: typed ``busy`` rejections at admission
+BUSY_REASONS = ("sessions-full", "name-taken", "draining")
+
+#: the serve-layer chaos model (on top of the predictor-layer models in
+#: :data:`repro.chaos.inject.PREDICTOR_FAULTS`): poison the simulation
+#: backend so its next ``count`` calls raise, exercising the breaker
+CHAOS_BACKEND_ERROR = "backend-error"
+
+
+class ProtocolError(ValueError):
+    """A malformed wire message (bad JSON, missing type, oversized)."""
+
+
+def encode(message: dict) -> bytes:
+    """One message object → one wire line (newline-terminated bytes)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes) -> dict:
+    """One wire line → the message object; raises :class:`ProtocolError`."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad wire line: {exc}") from None
+    if not isinstance(message, dict) or not isinstance(message.get("t"), str):
+        raise ProtocolError(f"message is not an object with a 't' field: "
+                            f"{line[:60]!r}")
+    return message
+
+
+async def recv(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one message; ``None`` on EOF; :class:`ProtocolError` on junk."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError(f"wire line over the {MAX_LINE}-byte limit"
+                            ) from None
+    if not line:
+        return None
+    return decode(line)
+
+
+async def send(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one message and drain (await the socket's backpressure)."""
+    writer.write(encode(message))
+    await writer.drain()
+
+
+def prediction_response(index: int, outcome: str,
+                        committed: Optional[str]) -> dict:
+    """A non-degraded ``pred``: the record went through the predictor."""
+    return {"t": MSG_PRED, "i": index, "degraded": False,
+            "outcome": outcome, "committed": committed}
+
+
+def degraded_response(index: int, reason: str) -> dict:
+    """A typed degraded ``pred``: predictor bypassed, coverage flagged."""
+    if reason not in DEGRADED_REASONS:
+        raise ValueError(f"unknown degraded reason {reason!r}; "
+                         f"known: {', '.join(DEGRADED_REASONS)}")
+    return {"t": MSG_PRED, "i": index, "degraded": True, "reason": reason,
+            "outcome": "none", "committed": None}
+
+
+def error_response(detail: str, index: Optional[int] = None) -> dict:
+    """A typed per-message error (the connection stays up)."""
+    message = {"t": MSG_ERROR, "detail": detail}
+    if index is not None:
+        message["i"] = index
+    return message

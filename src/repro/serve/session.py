@@ -1,0 +1,145 @@
+"""Per-session predictor shard, simulation backend and statistics.
+
+A session owns a private :class:`~repro.core.cloaking.CloakingEngine`:
+its DDT, Synonym File and DPNT are reachable from exactly one session
+worker task, so nothing a client streams — including chaos faults
+injected into its own shard during drills — can perturb another
+session's predictor state or responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.chaos.inject import PREDICTOR_FAULTS, apply_predictor_fault
+from repro.chaos.oracle import CommitRule, verified_commit
+from repro.core.cloaking import CloakingConfig, CloakingEngine
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.protocol import CHAOS_BACKEND_ERROR, DEGRADED_REASONS
+from repro.trace.records import DynInst
+from repro.trace.serialize import encode_value
+
+
+class BackendError(RuntimeError):
+    """The simulation backend failed on a record (real or injected)."""
+
+
+class SimulationBackend:
+    """The per-session prediction backend behind the circuit breaker.
+
+    ``service_delay`` models the per-record simulation cost (and gives
+    drills a *known* sustainable throughput of ``1 / service_delay``
+    records per second).  ``commit_rule`` decides which value reaches
+    architectural state for a load; the default is the paper's
+    :func:`~repro.chaos.oracle.verified_commit`, under which the
+    committed value provably equals the true value no matter how corrupt
+    the predictor is — the property the soak drill's differential oracle
+    checks end to end.
+    """
+
+    def __init__(self, engine: CloakingEngine,
+                 commit_rule: Optional[CommitRule] = None,
+                 service_delay: float = 0.0) -> None:
+        self.engine = engine
+        self.commit_rule = commit_rule or verified_commit
+        self.service_delay = service_delay
+        self._poisoned = 0
+
+    def poison(self, failures: int) -> None:
+        """Make the next ``failures`` observations raise (chaos drills)."""
+        self._poisoned += failures
+
+    async def observe(self, inst: DynInst) -> Tuple[str, Optional[str]]:
+        """Run one record through the engine.
+
+        Returns ``(outcome name, committed value-token)`` — the token is
+        ``None`` for non-loads.  Raises :class:`BackendError` when
+        poisoned, *before* touching predictor state, so an injected
+        backend fault never half-updates the shard.
+        """
+        if self._poisoned > 0:
+            self._poisoned -= 1
+            raise BackendError("injected backend fault")
+        if self.service_delay > 0:
+            await asyncio.sleep(self.service_delay)
+        observed = self.engine.observe_timing(inst)
+        if inst.is_load:
+            committed = self.commit_rule(observed, inst.value)
+            outcome = (observed.outcome.value if observed is not None
+                       else "none")
+            return outcome, encode_value(committed)
+        return "none", None
+
+
+@dataclass
+class SessionStats:
+    """One session's service-level accounting (wire-visible)."""
+
+    records: int = 0        # rec messages received
+    predicted: int = 0      # answered through the predictor
+    degraded: Dict[str, int] = field(
+        default_factory=lambda: {reason: 0 for reason in DEGRADED_REASONS})
+    bad_records: int = 0    # unparseable record lines (typed errors)
+    chaos_applied: int = 0
+    breaker_opens: int = 0
+
+    @property
+    def degraded_total(self) -> int:
+        return sum(self.degraded.values())
+
+    def as_dict(self) -> dict:
+        return {"records": self.records, "predicted": self.predicted,
+                "degraded": dict(self.degraded),
+                "degraded_total": self.degraded_total,
+                "bad_records": self.bad_records,
+                "chaos_applied": self.chaos_applied,
+                "breaker_opens": self.breaker_opens}
+
+
+class Session:
+    """One client's sharded state: engine, backend, breaker, queue."""
+
+    def __init__(self, name: str, *, queue_depth: int,
+                 deadline_ms: Optional[float],
+                 cloaking: CloakingConfig,
+                 commit_rule: Optional[CommitRule] = None,
+                 service_delay: float = 0.0,
+                 breaker_threshold: int = 3,
+                 breaker_base_delay: float = 0.05,
+                 breaker_max_delay: float = 2.0) -> None:
+        self.name = name
+        self.deadline_ms = deadline_ms
+        self.engine = CloakingEngine(cloaking)
+        self.backend = SimulationBackend(self.engine, commit_rule,
+                                         service_delay)
+        self.breaker = CircuitBreaker(name, fail_threshold=breaker_threshold,
+                                      base_delay=breaker_base_delay,
+                                      max_delay=breaker_max_delay)
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self.stats = SessionStats()
+
+    def apply_chaos(self, model: str, seed: int, count: int = 1) -> str:
+        """Inject one chaos fault into this session's shard.
+
+        Predictor-layer models go straight into the live engine;
+        :data:`~repro.serve.protocol.CHAOS_BACKEND_ERROR` poisons the
+        backend so its next ``count`` observations raise (the breaker
+        drill).  Returns a human-readable target description.
+        """
+        if model == CHAOS_BACKEND_ERROR:
+            self.backend.poison(count)
+            self.stats.chaos_applied += 1
+            return f"backend poisoned for {count} records"
+        if model not in PREDICTOR_FAULTS:
+            known = ", ".join(PREDICTOR_FAULTS + (CHAOS_BACKEND_ERROR,))
+            raise ValueError(f"unknown chaos model {model!r}; known: {known}")
+        applied = apply_predictor_fault(self.engine, model, seed)
+        self.stats.chaos_applied += 1
+        return applied.target or "no eligible predictor state yet"
+
+    def snapshot(self) -> dict:
+        """Session stats plus engine accuracy, for stats/goodbye replies."""
+        return {"session": self.name, "stats": self.stats.as_dict(),
+                "cloaking": self.engine.stats.as_dict()}

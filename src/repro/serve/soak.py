@@ -1,0 +1,181 @@
+"""The chaos soak drill: overload + live faults, verified end to end.
+
+One drill runs an in-process :class:`~repro.serve.server.PredictionServer`
+and drives it with the ``burst`` traffic shape at ``overload`` times the
+backend's known-sustainable rate (``1 / service_delay`` records per
+second per session), while every client injects the full chaos model
+cycle — all of :data:`~repro.chaos.inject.PREDICTOR_FAULTS` plus a
+backend poisoning that trips the circuit breaker — into its own live
+session mid-burst.
+
+The pass criteria are the robustness claims themselves:
+
+* **no corruption** — every non-degraded load response's committed
+  value-token equals the trace's ground truth (the wire form of the
+  :mod:`repro.chaos.oracle` differential oracle); ``violations`` must
+  stay empty no matter what chaos armed.
+* **typed shedding only** — overload surfaces exclusively as
+  ``degraded`` responses with reasons from
+  :data:`~repro.serve.protocol.DEGRADED_REASONS`; ``protocol_errors``
+  must be zero.
+* **recovery** — once the burst passes, the recovery window's p99
+  returns to at most twice the baseline p99 (with a small absolute
+  floor so coarse CI clocks cannot fail an idle service).
+* **clean drain** — the server drains within its grace window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chaos.inject import PREDICTOR_FAULTS
+from repro.chaos.oracle import CommitRule
+from repro.serve.loadgen import LoadReport, run_loadgen_async
+from repro.serve.protocol import CHAOS_BACKEND_ERROR
+from repro.serve.server import PredictionServer, ServeConfig
+
+SOAK_VERSION = 1
+
+DEFAULT_SEED = 1999  # the paper's year, like the chaos campaign default
+
+#: chaos models every session injects mid-burst, in cycle order
+SOAK_FAULTS = PREDICTOR_FAULTS + (CHAOS_BACKEND_ERROR,)
+
+#: baseline/recovery load as a fraction of sustainable throughput
+BASELINE_LOAD = 0.4
+
+#: absolute recovery allowance (ms) under the 2x-baseline criterion.
+#: The recovery window opens the instant the burst rate drops, so its
+#: first responses legitimately wait behind the burst's queued backlog
+#: (up to ``queue_depth * service_delay`` ~ 64 ms at the defaults); the
+#: floor absorbs that drain plus scheduler jitter on shared CI runners,
+#: while still catching a service that failed to recover (a stuck
+#: breaker or runaway queue shows up as hundreds of ms or worse)
+RECOVERY_FLOOR_MS = 150.0
+
+
+@dataclass
+class SoakRow:
+    """One workload's drill outcome (store/JSON serializable)."""
+
+    workload: str
+    scale: float
+    seed: int
+    sessions: int
+    overload: float
+    duration_s: float
+    sent: int
+    responded: int
+    predicted: int
+    degraded: Dict[str, int]
+    degraded_total: int
+    protocol_errors: int
+    chaos_sent: int
+    chaos_armed: int
+    breaker_opens: int
+    baseline_p50_ms: float
+    baseline_p99_ms: float
+    burst_p99_ms: float
+    recovery_p99_ms: float
+    p50_ms: float
+    p99_ms: float
+    records_per_sec: float
+    sessions_per_sec: float
+    recovered: bool
+    drained: bool
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def violated(self) -> int:
+        return len(self.violations)
+
+    @property
+    def passed(self) -> bool:
+        """The drill's overall verdict (see the module docstring)."""
+        return (not self.violations and self.protocol_errors == 0
+                and self.recovered and self.drained)
+
+
+def run_soak(workload: str, scale: float = 1.0, *,
+             seed: int = DEFAULT_SEED,
+             sessions: int = 4,
+             overload: float = 4.0,
+             service_delay: float = 0.004,
+             window: float = 0.45,
+             queue_depth: int = 16,
+             deadline_ms: float = 120.0,
+             breaker_threshold: int = 3,
+             commit_rule: Optional[CommitRule] = None) -> SoakRow:
+    """Run one chaos soak drill against a fresh in-process server.
+
+    ``commit_rule`` is injectable so the drill can prove its own oracle
+    *detects* corruption (swap in a broken rule → every load becomes a
+    violation); production and the harness artefact leave it ``None``
+    for :func:`~repro.chaos.oracle.verified_commit`.
+    """
+    if service_delay <= 0:
+        raise ValueError(f"service_delay must be positive, "
+                         f"got {service_delay} (it defines the "
+                         f"sustainable rate the overload multiplies)")
+    if overload <= 1.0:
+        raise ValueError(f"overload must exceed 1.0, got {overload}")
+    return asyncio.run(_soak_async(
+        workload, scale, seed=seed, sessions=sessions, overload=overload,
+        service_delay=service_delay, window=window, queue_depth=queue_depth,
+        deadline_ms=deadline_ms, breaker_threshold=breaker_threshold,
+        commit_rule=commit_rule))
+
+
+async def _soak_async(workload: str, scale: float, *, seed: int,
+                      sessions: int, overload: float, service_delay: float,
+                      window: float, queue_depth: int, deadline_ms: float,
+                      breaker_threshold: int,
+                      commit_rule: Optional[CommitRule]) -> SoakRow:
+    config = ServeConfig(
+        port=0, max_sessions=sessions, queue_depth=queue_depth,
+        deadline_ms=deadline_ms, service_delay=service_delay,
+        breaker_threshold=breaker_threshold, allow_chaos=True)
+    server = PredictionServer(config, commit_rule=commit_rule)
+    await server.start()
+    assert server.port is not None
+    sustainable = 1.0 / service_delay
+    try:
+        report = await run_loadgen_async(
+            config.host, server.port, sessions=sessions, shape="burst",
+            base_rate=BASELINE_LOAD * sustainable,
+            peak_rate=overload * sustainable,
+            duration=3.0 * window, workload=workload, scale=scale,
+            seed=seed, chaos_models=SOAK_FAULTS)
+    finally:
+        server.begin_drain()
+        drained = await server.drain()
+    return _row(workload, scale, seed, sessions, overload, report,
+                server.stats.breaker_opens, drained)
+
+
+def _row(workload: str, scale: float, seed: int, sessions: int,
+         overload: float, report: LoadReport, breaker_opens: int,
+         drained: bool) -> SoakRow:
+    baseline_p99 = report.phase_p99_ms.get("baseline", 0.0)
+    recovery_p99 = report.phase_p99_ms.get("recovery", 0.0)
+    recovered = recovery_p99 <= max(2.0 * baseline_p99, RECOVERY_FLOOR_MS)
+    return SoakRow(
+        workload=workload, scale=scale, seed=seed, sessions=sessions,
+        overload=overload, duration_s=report.duration,
+        sent=report.sent, responded=report.responded,
+        predicted=report.predicted, degraded=dict(report.degraded),
+        degraded_total=report.degraded_total,
+        protocol_errors=report.protocol_errors,
+        chaos_sent=report.chaos_sent, chaos_armed=report.chaos_armed,
+        breaker_opens=breaker_opens,
+        baseline_p50_ms=report.phase_p50_ms.get("baseline", 0.0),
+        baseline_p99_ms=baseline_p99,
+        burst_p99_ms=report.phase_p99_ms.get("burst", 0.0),
+        recovery_p99_ms=recovery_p99,
+        p50_ms=report.p50_ms, p99_ms=report.p99_ms,
+        records_per_sec=report.records_per_sec,
+        sessions_per_sec=report.sessions_per_sec,
+        recovered=recovered, drained=drained,
+        violations=list(report.violations))

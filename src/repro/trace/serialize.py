@@ -31,11 +31,20 @@ FORMAT_VERSION = 1
 _CONTROL = (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN)
 
 
+#: malformed-record budget for salvage mode before giving up entirely
+DEFAULT_SALVAGE_ERRORS = 25
+
+
 class TraceFormatError(ValueError):
     """Raised when a trace file is malformed or of an unknown version."""
 
 
-def _encode_value(value: object) -> str:
+def encode_value(value: object) -> str:
+    """One trace value → its exact-round-trip token (``i<int>``/``f<hex>``).
+
+    Public because the serving protocol (:mod:`repro.serve`) reuses the
+    trace value encoding for committed-value tokens on the wire.
+    """
     if isinstance(value, bool):
         raise TraceFormatError(f"boolean trace value: {value!r}")
     if isinstance(value, int):
@@ -45,12 +54,34 @@ def _encode_value(value: object) -> str:
     raise TraceFormatError(f"unsupported trace value type: {type(value)}")
 
 
-def _decode_value(token: str) -> object:
+def decode_value(token: str) -> object:
+    """Inverse of :func:`encode_value`."""
     if token.startswith("i"):
         return int(token[1:])
     if token.startswith("f"):
         return float.fromhex(token[1:])
     raise TraceFormatError(f"bad value token: {token!r}")
+
+
+# private spellings kept for in-module symmetry with _parse_record
+_encode_value = encode_value
+_decode_value = decode_value
+
+
+def format_record(inst: DynInst) -> str:
+    """One :class:`DynInst` → its record line (no trailing newline)."""
+    cls = inst.opclass
+    head = f"R {inst.index} {inst.pc} {cls.value}"
+    if cls == OpClass.LOAD:
+        return (f"{head} {inst.rd} {inst.addr} {inst.size} "
+                f"{encode_value(inst.value)}")
+    if cls == OpClass.STORE:
+        return (f"{head} {inst.addr} {inst.size} "
+                f"{encode_value(inst.value)}")
+    if cls in _CONTROL:
+        return f"{head} {int(bool(inst.taken))} {inst.target_pc}"
+    rd = -1 if inst.rd is None else inst.rd
+    return f"{head} {rd}"
 
 
 def write_trace(trace: Iterable[DynInst], fp: IO[str],
@@ -59,19 +90,7 @@ def write_trace(trace: Iterable[DynInst], fp: IO[str],
     fp.write(f"# repro-trace v{FORMAT_VERSION} {name}\n")
     count = 0
     for inst in trace:
-        cls = inst.opclass
-        head = f"R {inst.index} {inst.pc} {cls.value}"
-        if cls == OpClass.LOAD:
-            fp.write(f"{head} {inst.rd} {inst.addr} {inst.size} "
-                     f"{_encode_value(inst.value)}\n")
-        elif cls == OpClass.STORE:
-            fp.write(f"{head} {inst.addr} {inst.size} "
-                     f"{_encode_value(inst.value)}\n")
-        elif cls in _CONTROL:
-            fp.write(f"{head} {int(bool(inst.taken))} {inst.target_pc}\n")
-        else:
-            rd = -1 if inst.rd is None else inst.rd
-            fp.write(f"{head} {rd}\n")
+        fp.write(format_record(inst) + "\n")
         count += 1
     return count
 
@@ -111,7 +130,30 @@ def _parse_record(parts, line_no: int, line: str) -> DynInst:
     return DynInst(index, pc, cls, rd=None if rd < 0 else rd)
 
 
-def read_trace(fp: IO[str], salvage: bool = False) -> Iterator[DynInst]:
+def parse_record_line(line: str, line_no: int = 0) -> DynInst:
+    """Parse one record line (as produced by :func:`format_record`).
+
+    Any malformation — not a record, wrong field count, bad value token —
+    raises :class:`TraceFormatError` carrying ``line_no``.  Public because
+    the serving protocol (:mod:`repro.serve`) parses wire records through
+    this single entry point: a garbled line from a client must become a
+    typed error, never an uncaught exception in the server.
+    """
+    parts = line.split()
+    try:
+        if not parts or parts[0] != "R" or len(parts) < 4:
+            raise TraceFormatError(f"line {line_no}: bad record {line!r}")
+        return _parse_record(parts, line_no, line)
+    except TraceFormatError as exc:
+        if str(exc).startswith("line "):
+            raise
+        raise TraceFormatError(f"line {line_no}: {exc}") from None
+    except (IndexError, ValueError) as exc:
+        raise TraceFormatError(f"line {line_no}: {exc}: {line!r}") from None
+
+
+def read_trace(fp: IO[str], salvage: bool = False,
+               max_errors: int = DEFAULT_SALVAGE_ERRORS) -> Iterator[DynInst]:
     """Stream records back from a file object written by :func:`write_trace`.
 
     Register *source* lists are not serialized (analyses that consume saved
@@ -120,9 +162,11 @@ def read_trace(fp: IO[str], salvage: bool = False) -> Iterator[DynInst]:
 
     A malformed line — truncated mid-record, wrong field count, bad value
     token — raises :class:`TraceFormatError` naming the line number.  With
-    ``salvage=True`` the records *before* the first corruption are yielded
-    and iteration stops cleanly instead of raising (the header must still
-    be intact).
+    ``salvage=True`` malformed lines are *skipped* and the stream
+    continues (the header must still be intact) — but only up to
+    ``max_errors`` of them: a wholly corrupt file fails fast with one
+    summary :class:`TraceFormatError` instead of grinding through
+    millions of bad lines one diagnostic at a time.
     """
     header = fp.readline()
     if not header.startswith("# repro-trace v"):
@@ -130,27 +174,26 @@ def read_trace(fp: IO[str], salvage: bool = False) -> Iterator[DynInst]:
     version = header.split()[2]
     if version != f"v{FORMAT_VERSION}":
         raise TraceFormatError(f"unsupported trace version {version}")
+    errors = 0
+    first_error = None
     for line_no, line in enumerate(fp, start=2):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        parts = line.split()
         try:
-            if parts[0] != "R" or len(parts) < 4:
-                raise TraceFormatError(
-                    f"line {line_no}: bad record {line!r}")
-            record = _parse_record(parts, line_no, line)
+            record = parse_record_line(line, line_no)
         except TraceFormatError as exc:
-            if salvage:
-                return
-            if str(exc).startswith("line "):
+            if not salvage:
                 raise
-            raise TraceFormatError(f"line {line_no}: {exc}") from None
-        except (IndexError, ValueError) as exc:
-            if salvage:
-                return
-            raise TraceFormatError(
-                f"line {line_no}: {exc}: {line!r}") from None
+            errors += 1
+            if first_error is None:
+                first_error = str(exc)
+            if errors > max_errors:
+                raise TraceFormatError(
+                    f"salvage abandoned: {errors} malformed records "
+                    f"exceed the cap of {max_errors}; "
+                    f"first: {first_error}") from None
+            continue
         yield record
 
 
@@ -160,12 +203,13 @@ def save_trace(trace: Iterable[DynInst], path: str, name: str = "") -> int:
         return write_trace(trace, fp, name=name)
 
 
-def load_trace(path: str, salvage: bool = False) -> Iterator[DynInst]:
+def load_trace(path: str, salvage: bool = False,
+               max_errors: int = DEFAULT_SALVAGE_ERRORS) -> Iterator[DynInst]:
     """Iterate the records stored at ``path``.
 
     The file stays open for the duration of the iteration; exhaust or
-    close the generator to release it.  ``salvage`` is forwarded to
-    :func:`read_trace`.
+    close the generator to release it.  ``salvage`` and ``max_errors``
+    are forwarded to :func:`read_trace`.
     """
     with open(path) as fp:
-        yield from read_trace(fp, salvage=salvage)
+        yield from read_trace(fp, salvage=salvage, max_errors=max_errors)

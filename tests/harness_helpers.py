@@ -4,8 +4,9 @@ Registered under the name ``boom`` by ``tests/test_harness.py``; exposes
 the same ``run``/``run_one``/``render`` interface as the real experiment
 modules but fails on demand: the ``go`` cell raises, the ``m88`` cell
 hard-exits its worker process (simulating a crash), the ``gcc`` cell
-ignores SIGTERM and hangs (an unkillable-without-SIGKILL worker), every
-other cell succeeds.
+ignores SIGTERM and hangs (an unkillable-without-SIGKILL worker), the
+``per`` cell sleeps for a long time *without* masking signals (a slow
+but well-behaved job, for drain/kill drills), every other cell succeeds.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from typing import List, Optional, Sequence
 RAISING_WORKLOAD = "go"
 DYING_WORKLOAD = "m88"
 HANGING_WORKLOAD = "gcc"
+SLEEPING_WORKLOAD = "per"
 
 
 @dataclass
@@ -42,6 +44,8 @@ def run_one(workload: str, scale: float, **kwargs) -> List[BoomRow]:
         os._exit(13)
     if workload == HANGING_WORKLOAD:
         signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(3600)
+    if workload == SLEEPING_WORKLOAD:
         time.sleep(3600)
     return [BoomRow(abbrev=workload, scale=scale)]
 

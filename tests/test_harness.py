@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -96,6 +97,15 @@ class TestStoreCrashSafety:
         proc.join(timeout=60)
         return proc
 
+    @staticmethod
+    def _age(path, seconds=120.0):
+        """Backdate a file past the stale-tmp age threshold."""
+        import os
+        import time
+
+        past = time.time() - seconds
+        os.utime(path, (past, past))
+
     def test_writer_killed_before_replace_leaves_no_object(self, tmp_path):
         store = ResultStore(tmp_path)
         spec = make_job("fig2", "li", SCALE)
@@ -117,14 +127,20 @@ class TestStoreCrashSafety:
         # No object was exposed; the leftover tmp is visible, never served.
         assert store.get(key) is None
         assert not store.has(key)
-        stale = store.stale_tmps()
+        # Moments after the crash the tmp is indistinguishable from an
+        # in-flight put, so the default age threshold hides it ...
+        assert store.stale_tmps() == []
+        stale = store.stale_tmps(min_age=0.0)
         assert len(stale) == 1
         assert stale[0].name.endswith(".tmp")
+        # ... and once it has aged past the threshold it is reported.
+        self._age(stale[0])
+        assert store.stale_tmps() == stale
         # A later writer succeeds and clean() sweeps the leftover.
         store.put(key, spec, rows)
         assert store.get(key) == rows
         assert store.clean() == 2  # the object and the stale tmp
-        assert store.stale_tmps() == []
+        assert store.stale_tmps(min_age=0.0) == []
 
     def test_concurrent_writers_same_key_leave_valid_object(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -149,7 +165,30 @@ class TestStoreCrashSafety:
         tmp = path.with_name(f".{path.name}.12345.tmp")
         tmp.write_text('{"row_type": "trunc', encoding="utf-8")
         assert store.get(key) is None
+        self._age(tmp)
         assert store.stale_tmps() == [tmp]
+
+    def test_in_flight_put_tmp_is_never_reported_or_swept(self, tmp_path):
+        """The race this age threshold exists for: a live writer's fresh
+        ``.tmp`` must be invisible to ``stale_tmps`` and survive
+        ``clean`` — sweeping it would make the writer's ``os.replace``
+        fail mid-``put``."""
+        store = ResultStore(tmp_path)
+        spec = make_job("fig2", "li", SCALE)
+        key = store.key_for(spec)
+        path = store._object_path(key)
+        path.parent.mkdir(parents=True)
+        live = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        live.write_text('{"row_type"', encoding="utf-8")  # mid-write
+        assert store.stale_tmps() == []           # not reported ...
+        assert store.clean() == 0
+        assert live.exists()                      # ... and not swept
+        # Once aged past the threshold the same file is dead-writer
+        # debris: reported, and clean() removes it.
+        self._age(live)
+        assert store.stale_tmps() == [live]
+        assert store.clean() == 1
+        assert not live.exists()
 
 
 # ---------------------------------------------------------------------------

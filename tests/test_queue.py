@@ -6,6 +6,8 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import signal
 import time
 
 import pytest
@@ -66,6 +68,12 @@ class TestJobSpecRoundTrip:
 def _claim_and_abandon(queue_root, worker_id):
     """Child-process body: lease a job, then die without finishing it."""
     JobQueue(queue_root).claim(worker_id)
+
+
+def _drain_victim(queue_root, store_root):
+    """Child-process body: run the worker loop until killed."""
+    worker_loop(JobQueue(queue_root), ResultStore(store_root),
+                worker_id="victim", poll=0.01)
 
 
 class TestLeaseLifecycle:
@@ -210,6 +218,40 @@ class TestWorkerLoop:
         host, _, pid = default_worker_id().partition(":")
         assert host
         assert int(pid) > 0
+
+    def test_sigterm_kill_drill_releases_the_held_lease(self, tmp_path,
+                                                        monkeypatch):
+        """A worker drained with SIGTERM mid-job hands its lease back on
+        the way out: the job is immediately reclaimable by a successor
+        (with the attempt counted) instead of stranded until expiry."""
+        monkeypatch.setitem(ARTEFACTS, "boom", BOOM)
+        queue = JobQueue(tmp_path / "q", lease_ttl=DEFAULT_LEASE_TTL)
+        store = ResultStore(tmp_path / "s")
+        spec = make_job("boom", helpers.SLEEPING_WORKLOAD, 1.0)
+        key = store.key_for(spec)
+        queue.enqueue(spec, key)
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_drain_victim,
+                           args=(queue.root, store.root))
+        proc.start()
+        try:
+            deadline = time.time() + 10
+            while queue.lease_info(key) is None:
+                assert time.time() < deadline, "worker never claimed"
+                time.sleep(0.01)
+            time.sleep(0.05)  # let the claim reach the sleeping job body
+            os.kill(proc.pid, signal.SIGTERM)
+            proc.join(10)
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+                pytest.fail("drained worker did not exit on SIGTERM")
+        assert proc.exitcode == 128 + signal.SIGTERM
+        assert queue.lease_info(key) is None  # released, not stranded
+        successor = queue.claim("successor")
+        assert successor is not None
+        assert successor.attempt == 2  # the interrupted attempt counted
 
 
 # ---------------------------------------------------------------------------

@@ -120,10 +120,10 @@ class TestCorruption:
         with pytest.raises(TraceFormatError, match="line 3"):
             list(read_trace(io.StringIO(data)))
 
-    def test_salvage_yields_records_before_corruption(self):
+    def test_salvage_skips_corrupt_records_and_continues(self):
         data = HEADER + LOAD + OTHER + "R 2 4104 9 1\n" + OTHER
         salvaged = list(read_trace(io.StringIO(data), salvage=True))
-        assert [r.index for r in salvaged] == [0, 1]
+        assert [r.index for r in salvaged] == [0, 1, 1]
 
     def test_salvage_of_clean_trace_yields_everything(self):
         data = HEADER + LOAD + OTHER
@@ -133,9 +133,36 @@ class TestCorruption:
         with pytest.raises(TraceFormatError):
             list(read_trace(io.StringIO("junk\n" + LOAD), salvage=True))
 
+    def test_salvage_tolerates_exactly_max_errors(self):
+        data = HEADER + "R bad\n" * 3 + LOAD
+        salvaged = list(read_trace(io.StringIO(data), salvage=True,
+                                   max_errors=3))
+        assert [r.index for r in salvaged] == [0]
+
+    def test_wholly_corrupt_trace_fails_fast_with_a_summary(self):
+        data = HEADER + "R bad\n" * 10
+        with pytest.raises(TraceFormatError,
+                           match=r"salvage abandoned: 4 .*cap of 3.*line 2"):
+            list(read_trace(io.StringIO(data), salvage=True, max_errors=3))
+
+    def test_salvage_cap_counts_errors_not_good_records(self):
+        # interleaved damage: good records never eat into the error budget
+        data = HEADER + (LOAD + "R bad\n") * 5
+        salvaged = list(read_trace(io.StringIO(data), salvage=True,
+                                   max_errors=5))
+        assert len(salvaged) == 5
+        with pytest.raises(TraceFormatError, match="salvage abandoned"):
+            list(read_trace(io.StringIO(data), salvage=True, max_errors=4))
+
     def test_load_trace_forwards_salvage(self, tmp_path):
         path = tmp_path / "t.trace"
         path.write_text(HEADER + LOAD + "R 1 4100 9 1\n")
         with pytest.raises(TraceFormatError, match="line 3"):
             list(load_trace(str(path)))
         assert len(list(load_trace(str(path), salvage=True))) == 1
+
+    def test_load_trace_forwards_max_errors(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(HEADER + "R bad\n" * 4)
+        with pytest.raises(TraceFormatError, match="salvage abandoned"):
+            list(load_trace(str(path), salvage=True, max_errors=2))
