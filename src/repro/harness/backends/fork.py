@@ -73,13 +73,22 @@ class ForkBackend(ExecutionBackend):
                         pending.append((spec, attempts, not_before))
                         continue
                     recv, send = ctx.Pipe(duplex=False)
-                    proc = ctx.Process(
-                        target=_worker_main,
-                        args=(spec, state.keys[spec], store_root, send))
-                    proc.start()
-                    send.close()
-                    active.append(_Attempt(spec, state.keys[spec], attempts,
-                                           proc, recv))
+                    try:
+                        proc = ctx.Process(
+                            target=_worker_main,
+                            args=(spec, state.keys[spec], store_root, send))
+                        proc.start()
+                        send.close()
+                        active.append(_Attempt(spec, state.keys[spec],
+                                               attempts, proc, recv))
+                    except BaseException:
+                        # start() can fail (fork EAGAIN, fd exhaustion);
+                        # without this both pipe ends leak an fd per
+                        # failed launch.  close() is idempotent, so the
+                        # already-closed send end is fine here.
+                        recv.close()
+                        send.close()
+                        raise
                 if active:
                     multiprocessing.connection.wait(
                         [attempt.conn for attempt in active], timeout=0.05)

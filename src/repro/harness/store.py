@@ -184,6 +184,9 @@ class ResultStore:
         payload = rows_to_payload(rows)
         payload["cell"] = spec.key_fields()
         payload["elapsed"] = elapsed
+        # staticcheck: ignore[RS303] a tmp stranded by a crash mid-write
+        # is the documented failure mode: it is never served, and
+        # ``stale_tmps`` exists precisely to sweep this debris offline.
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(payload) + "\n")

@@ -24,12 +24,27 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.harness.backends.base import retry_backoff_delay
-from repro.harness.jobs import execute_job
+from repro.harness.jobs import JobSpec, execute_job
 from repro.harness.queue import Claim, JobQueue, default_worker_id
 from repro.harness.store import ResultStore
 
 #: seconds between queue polls when nothing is claimable
 DEFAULT_POLL = 0.05
+
+
+def poll_delay(worker_id: str, poll: float = DEFAULT_POLL) -> float:
+    """This worker's deterministic poll interval, in ``[poll/2, poll)``.
+
+    A fleet started simultaneously (the CI job, a cluster launcher)
+    would otherwise poll the queue in lockstep forever — every worker
+    sleeps the same ``poll``, wakes at the same instant, and hammers
+    the shared directory together.  Hashing the worker id through the
+    spec-keyed backoff helper de-phases the fleet while staying fully
+    reproducible: the same worker id always polls on the same cadence.
+    """
+    spec = JobSpec(artefact="harness.worker-poll", workload=worker_id,
+                   scale=1.0)
+    return retry_backoff_delay(spec, 1, poll)
 
 
 @dataclass
@@ -70,6 +85,7 @@ def worker_loop(queue: JobQueue, store: ResultStore, *,
     worker_id = worker_id or default_worker_id()
     stats = WorkerStats(worker_id=worker_id)
     say = progress or (lambda message: None)
+    delay = poll_delay(worker_id, poll)
 
     def _drain(signum, frame):
         raise SystemExit(128 + signal.SIGTERM)
@@ -84,10 +100,8 @@ def worker_loop(queue: JobQueue, store: ResultStore, *,
             if claim is None:
                 if not keep_alive and not queue.remaining():
                     break  # every queued job has a terminal outcome
-                time.sleep(poll)
+                time.sleep(delay)
                 continue
-            stats.claimed += 1
-            stats.labels.append(claim.spec.label)
             _run_claim(queue, store, claim, stats, retries, retry_backoff,
                        say)
             if max_jobs is not None and stats.claimed >= max_jobs:
@@ -101,34 +115,48 @@ def worker_loop(queue: JobQueue, store: ResultStore, *,
 def _run_claim(queue: JobQueue, store: ResultStore, claim: Claim,
                stats: WorkerStats, retries: int, retry_backoff: float,
                say: Callable[[str], None]) -> None:
-    """Execute one leased job and record its outcome in the queue."""
+    """Execute one leased job and record its outcome in the queue.
+
+    Every statement that can raise while the lease is held sits inside
+    the try: a ``store.put`` failure used to escape *between*
+    ``execute_job`` and ``complete`` and strand the lease until TTL
+    expiry (RS302's bug class) — now it charges the attempt and
+    releases like any other failure.
+    """
     spec = claim.spec
-    start = time.time()
     try:
+        stats.claimed += 1
+        stats.labels.append(spec.label)
+        start = time.time()
         rows = execute_job(spec)
+        elapsed = time.time() - start
+        store.put(claim.key, spec, rows, elapsed)
     except (KeyboardInterrupt, SystemExit):
         # Interrupted mid-job: hand the lease back uncharged-looking
         # (the claim already counted the attempt) and stop the loop.
         queue.release(claim.key, error="worker interrupted mid-attempt")
         raise
     except Exception:
-        error = traceback.format_exc()
+        # The terminal queue op is the first statement in each branch
+        # that can raise: formatting the error or deriving the backoff
+        # *before* it would strand the lease until TTL expiry if those
+        # helpers themselves failed, so they ride inside the call.
         stats.failed += 1
         if claim.attempt >= retries + 1:
-            queue.finish_failed(claim.key, error=error,
+            queue.finish_failed(claim.key, error=traceback.format_exc(),
                                 attempts=claim.attempt, worker=claim.worker)
             stats.finalized += 1
             say(f"{spec.label}: failed terminally "
                 f"(attempt {claim.attempt}/{retries + 1})")
         else:
+            queue.release(claim.key, error=traceback.format_exc(),
+                          not_before=time.time() + retry_backoff_delay(
+                              spec, claim.attempt, retry_backoff))
+            # deterministic, so recomputing for the log line is exact
             delay = retry_backoff_delay(spec, claim.attempt, retry_backoff)
-            queue.release(claim.key, error=error,
-                          not_before=time.time() + delay)
             say(f"{spec.label}: attempt {claim.attempt} failed, "
                 f"retry in {delay:.2f}s")
         return
-    elapsed = time.time() - start
-    store.put(claim.key, spec, rows, elapsed)
     queue.complete(claim.key, worker=claim.worker, elapsed=elapsed,
                    attempts=claim.attempt)
     stats.completed += 1

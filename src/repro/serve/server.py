@@ -142,6 +142,7 @@ class PredictionServer:
         self.port: Optional[int] = None
         self._sessions: Dict[str, Session] = {}
         self._handler_tasks: Set[asyncio.Task] = set()
+        self._flush_tasks: Set[asyncio.Task] = set()
         self._session_counter = 0
         self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
@@ -178,7 +179,13 @@ class PredictionServer:
         if self._server is not None:
             self._server.close()
         for session in list(self._sessions.values()):
-            asyncio.ensure_future(session.queue.put(("flush", None, 0.0)))
+            # Retain the flush tasks: a dropped ensure_future handle can
+            # be garbage-collected before it runs, silently losing the
+            # flush sentinel (and its exception, if the put fails).
+            task = asyncio.ensure_future(
+                session.queue.put(("flush", None, 0.0)))
+            self._flush_tasks.add(task)
+            task.add_done_callback(self._flush_tasks.discard)
         if self._drain_requested is not None:
             self._drain_requested.set()
 
@@ -199,6 +206,11 @@ class PredictionServer:
             task.cancel()
         if self._handler_tasks:
             await asyncio.gather(*self._handler_tasks,
+                                 return_exceptions=True)
+        for task in list(self._flush_tasks):
+            task.cancel()
+        if self._flush_tasks:
+            await asyncio.gather(*self._flush_tasks,
                                  return_exceptions=True)
         return clean
 

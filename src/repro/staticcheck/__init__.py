@@ -23,6 +23,15 @@ Rule families (full reference in docs/staticcheck.md):
   file handles that the fork scheduler would duplicate into workers.
 * ``CK*`` cache-key soundness — dynamic import / getattr dispatch the
   code fingerprint cannot see.
+* ``AS*`` async soundness — blocking calls reachable from coroutines
+  (via the resolved call graph), unawaited coroutines, dropped task
+  handles, locks held across ``await``.
+* ``SH*`` shared-state isolation — class-body mutables shared across
+  instances/sessions, read-await-write races in spawned tasks, closure
+  ``fork()`` targets.
+* ``RS*`` resource lifecycle — path-sensitive (per-function CFG) leak
+  checks for file handles, queue leases and tmp files, including
+  exception edges.
 
 Findings are suppressible inline (``# staticcheck: ignore[FS101] why``)
 or through the checked-in baseline (kept empty; see
@@ -46,7 +55,7 @@ from repro.staticcheck.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.staticcheck.callgraph import CallGraph
+from repro.staticcheck.callgraph import CallGraph, ResolvedCallGraph
 from repro.staticcheck.model import (
     REPORT_SCHEMA_VERSION,
     CheckReport,
@@ -62,9 +71,12 @@ from repro.staticcheck.rules import (
     resolve_many,
 )
 from repro.staticcheck import (
+    checks_async,
     checks_cachekey,
     checks_determinism,
     checks_forksafety,
+    checks_resource,
+    checks_shared,
     checks_values,
 )
 
@@ -74,6 +86,15 @@ _FILE_CHECKS = (
     checks_values.check_file,
     checks_forksafety.check_file,
     checks_cachekey.check_file,
+    checks_shared.check_file,
+    checks_resource.check_file,
+)
+
+#: whole-graph passes (built on the resolved call graph), in report order
+_GRAPH_CHECKS = (
+    checks_determinism.check_wallclock,
+    checks_async.check_graph,
+    checks_shared.check_graph,
 )
 
 
@@ -127,8 +148,9 @@ def check_sources(sources: Sequence[SourceFile],
     for source in sources:
         for check in _FILE_CHECKS:
             raw.extend(check(source))
-    graph = CallGraph(sources)
-    raw.extend(checks_determinism.check_wallclock(sources, graph))
+    graph = ResolvedCallGraph(sources)
+    for check in _GRAPH_CHECKS:
+        raw.extend(check(sources, graph))
 
     by_rel = {source.rel: source for source in sources}
     for finding in raw:
@@ -163,6 +185,7 @@ __all__ = [
     "REGISTRY_VERSION",
     "REPORT_SCHEMA_VERSION",
     "RULES",
+    "ResolvedCallGraph",
     "Rule",
     "Severity",
     "SourceFile",

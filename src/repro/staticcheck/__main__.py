@@ -40,7 +40,7 @@ from repro.staticcheck import (
     write_baseline,
 )
 from repro.staticcheck.model import REPORT_SCHEMA_VERSION
-from repro.staticcheck.rules import REGISTRY_VERSION
+from repro.staticcheck.rules import REGISTRY_VERSION, expand
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -61,7 +61,8 @@ def _parser() -> argparse.ArgumentParser:
         help="treat warnings as failures (the CI gate)")
     parser.add_argument(
         "--rule", action="append", default=None, metavar="RULE",
-        help="only run this rule (ID or slug; repeatable)")
+        help="only run this rule (ID, slug, or family name such as "
+             "'async-soundness'; repeatable)")
     parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the full JSON report ('-' writes the JSON to "
@@ -101,8 +102,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     try:
+        rules = expand(args.rule) if args.rule else None
         report = check_paths(paths=args.paths or None, root=args.root,
-                             rules=args.rule)
+                             rules=rules)
     except (StaticcheckError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,19 +1,26 @@
-"""A simple name-based call graph over the analyzed package.
+"""Call graphs over the analyzed package: name-based and resolved.
 
-This is deliberately modest: calls resolve through per-module import
-maps, ``self.<method>()`` within a class, and locals constructed from a
-statically known class (``v = ClassName(...); v.m()``).  Attribute calls
-on values the pass cannot type are ignored — under-approximation keeps
-the reachability-scoped rules (DT301) free of avalanche false positives,
-and the rule still catches every direct and module-function path from an
-artefact entry point to a wall-clock read.
+:class:`CallGraph` is deliberately modest: calls resolve through
+per-module import maps, ``self.<method>()`` within a class, and locals
+constructed from a statically known class (``v = ClassName(...);
+v.m()``).  Attribute calls on values the pass cannot type are ignored —
+under-approximation keeps the reachability-scoped rules free of
+avalanche false positives.
+
+:class:`ResolvedCallGraph` extends it for the flow-sensitive AS/SH/RS
+families: it additionally types ``self.<attr>`` from ``__init__``-style
+assignments, locals and parameters from annotations, records every call
+*site* (with its enclosing-``await`` context and line), and knows which
+functions are coroutines.  Its extra edges also flow into
+:attr:`FunctionInfo.calls`, so reachability consumers (DT301) see the
+sharper graph for free.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.staticcheck.model import SourceFile, call_name
 
@@ -221,3 +228,213 @@ class CallGraph:
             seen.add(qual)
             work.extend(info.calls - seen)
         return seen
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body, with its resolution."""
+
+    node: ast.Call
+    lineno: int
+    awaited: bool                  # directly wrapped in ``await ...``
+    dotted: Optional[str]          # canonical dotted target ("time.sleep")
+    attr: Optional[str]            # terminal name ("sleep" / "claim" / "f")
+    callees: Tuple[str, ...] = ()  # resolved in-package qualnames
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The dotted name of a plain annotation (strings and Optional[...] too)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        # Optional[Cls] / "Claim | None" style wrappers: look inside
+        inner = node.slice
+        if isinstance(inner, ast.Index):       # pragma: no cover (py<3.9)
+            inner = inner.value
+        if isinstance(inner, ast.Tuple) and inner.elts:
+            inner = inner.elts[0]
+        return _annotation_name(inner)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_name(node.left)
+    return call_name(node)
+
+
+class ResolvedCallGraph(CallGraph):
+    """Call graph with typed receivers, call sites and coroutine flags.
+
+    On top of the base resolution this pass types three more receiver
+    shapes — ``self.<attr>`` assigned a known class in any method of the
+    same class, locals/parameters annotated with a known class, and
+    ``cls.<attr>`` style module aliases — and keeps per-function
+    :class:`CallSite` records so the async-soundness checks can tell a
+    direct blocking call from a transitive one and an awaited coroutine
+    from a dropped one.
+    """
+
+    def __init__(self, files: Sequence[SourceFile]) -> None:
+        #: canonical class path -> {attr name -> canonical class path}
+        self.self_attr_types: Dict[str, Dict[str, str]] = {}
+        #: qualname -> ordered call sites in that function body
+        self.sites: Dict[str, List[CallSite]] = {}
+        super().__init__(files)
+        self._infer_self_attrs()
+        self._resolve_sites()
+        #: reverse adjacency over the (sharpened) edges
+        self.callers: Dict[str, Set[str]] = {}
+        for qual, info in self.functions.items():
+            for callee in info.calls:
+                self.callers.setdefault(callee, set()).add(qual)
+
+    # -- typing ----------------------------------------------------------
+
+    def is_async(self, qual: str) -> bool:
+        info = self.functions.get(qual)
+        return info is not None and isinstance(info.node,
+                                               ast.AsyncFunctionDef)
+
+    def _class_of(self, dotted: Optional[str], module: str) -> Optional[str]:
+        """Canonical class path if ``dotted`` names a known class."""
+        if dotted is None:
+            return None
+        if dotted in self._class_methods:
+            return dotted
+        imports = self.imports.get(module, {})
+        head, _, rest = dotted.partition(".")
+        resolved = imports.get(head, head)
+        full = f"{resolved}.{rest}" if rest else resolved
+        if full in self._class_methods:
+            return full
+        local = f"{module}.{dotted}"
+        if local in self._class_methods:
+            return local
+        return None
+
+    def _infer_self_attrs(self) -> None:
+        """``self.attr = Cls(...)`` / ``attr: Cls`` in any method types the attr."""
+        for info in self.functions.values():
+            if info.cls is None:
+                continue
+            cls_path = f"{info.module}.{info.cls}"
+            attrs = self.self_attr_types.setdefault(cls_path, {})
+            for node in ast.walk(info.node):
+                target = None
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                    ann = self._class_of(_annotation_name(node.annotation),
+                                         info.module)
+                    if (ann is not None and isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        attrs.setdefault(target.attr, ann)
+                if (target is None or not isinstance(target, ast.Attribute)
+                        or not isinstance(target.value, ast.Name)
+                        or target.value.id != "self"):
+                    continue
+                if isinstance(value, ast.Call):
+                    typed = self._class_of(
+                        canonical(value.func,
+                                  self.imports.get(info.module, {})),
+                        info.module)
+                    if typed is None and isinstance(value.func, ast.Name):
+                        typed = self._class_of(value.func.id, info.module)
+                    if typed is not None:
+                        attrs.setdefault(target.attr, typed)
+
+    def _typed_locals(self, info: FunctionInfo) -> Dict[str, str]:
+        """Local/parameter name -> canonical class path."""
+        types = dict(self._local_instance_types(info))
+        node = info.node
+        arg_lists = [node.args.args, node.args.kwonlyargs]
+        arg_lists.append(getattr(node.args, "posonlyargs", []))
+        for args in arg_lists:
+            for arg in args:
+                typed = self._class_of(_annotation_name(arg.annotation),
+                                       info.module)
+                if typed is not None:
+                    types.setdefault(arg.arg, typed)
+        for child in ast.walk(node):
+            if (isinstance(child, ast.AnnAssign)
+                    and isinstance(child.target, ast.Name)):
+                typed = self._class_of(_annotation_name(child.annotation),
+                                       info.module)
+                if typed is not None:
+                    types.setdefault(child.target.id, typed)
+        return types
+
+    # -- call sites ------------------------------------------------------
+
+    def _site_callees(self, func_expr: ast.AST, info: FunctionInfo,
+                      locals_: Dict[str, str]) -> List[str]:
+        imports = self.imports.get(info.module, {})
+        if isinstance(func_expr, ast.Attribute):
+            receiver = func_expr.value
+            # self.method()
+            if (isinstance(receiver, ast.Name) and receiver.id == "self"
+                    and info.cls is not None):
+                methods = self._class_methods.get(
+                    f"{info.module}.{info.cls}", {})
+                if func_expr.attr in methods:
+                    return [methods[func_expr.attr]]
+                # self.attr where attr is typed: constructor call shape
+                attr_types = self.self_attr_types.get(
+                    f"{info.module}.{info.cls}", {})
+                if func_expr.attr in attr_types:
+                    return list(self._resolve_target(
+                        attr_types[func_expr.attr], info.module))
+            # self.attr.method()
+            if (isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                    and info.cls is not None):
+                attr_types = self.self_attr_types.get(
+                    f"{info.module}.{info.cls}", {})
+                cls_path = attr_types.get(receiver.attr)
+                if cls_path is not None:
+                    methods = self._class_methods.get(cls_path, {})
+                    if func_expr.attr in methods:
+                        return [methods[func_expr.attr]]
+            # typed_local.method()
+            if isinstance(receiver, ast.Name) and receiver.id in locals_:
+                methods = self._class_methods.get(locals_[receiver.id], {})
+                if func_expr.attr in methods:
+                    return [methods[func_expr.attr]]
+        return list(self._resolve_target(canonical(func_expr, imports),
+                                         info.module))
+
+    def _resolve_sites(self) -> None:
+        for qual, info in self.functions.items():
+            imports = self.imports.get(info.module, {})
+            locals_ = self._typed_locals(info)
+            awaited_calls = {
+                id(node.value) for node in ast.walk(info.node)
+                if isinstance(node, ast.Await)
+                and isinstance(node.value, ast.Call)
+            }
+            sites: List[CallSite] = []
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func_expr = node.func
+                if isinstance(func_expr, ast.Attribute):
+                    attr: Optional[str] = func_expr.attr
+                elif isinstance(func_expr, ast.Name):
+                    attr = func_expr.id
+                else:
+                    attr = None
+                callees = self._site_callees(func_expr, info, locals_)
+                info.calls.update(callees)
+                sites.append(CallSite(
+                    node=node, lineno=node.lineno,
+                    awaited=id(node) in awaited_calls,
+                    dotted=canonical(func_expr, imports), attr=attr,
+                    callees=tuple(sorted(callees))))
+            sites.sort(key=lambda s: (s.lineno, s.node.col_offset))
+            self.sites[qual] = sites

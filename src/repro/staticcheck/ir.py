@@ -1,0 +1,375 @@
+"""A per-function control-flow IR for the flow-sensitive rule families.
+
+The AS/SH/RS passes need to reason about *paths*: "is there an execution
+of this function on which the lease is never released?", "can an
+``await`` interleave between this read and that write?".  The per-line
+AST walks of the older families cannot answer that, so this module
+lowers each function body to a statement-level CFG:
+
+* one :class:`Node` per simple statement (compound statements contribute
+  their *header* — the ``if``/``while`` test, the ``for`` iterable, the
+  ``with`` context expressions — as a node and recurse into their
+  bodies);
+* ``next`` edges for sequential/branch flow, ``exc`` edges from every
+  may-raise node to the innermost live handler (or the virtual
+  ``raise_exit``), routed through ``finally`` blocks;
+* three virtual nodes: ``entry``, ``exit`` (normal completion and
+  ``return``) and ``raise_exit`` (exception propagation out of the
+  function).
+
+The lowering is deliberately conservative in the *may* direction: a
+``try`` body edge reaches every handler **and** — unless some handler is
+a catch-all — escapes past them (typed handlers need not match), a
+single ``finally`` chain feeds both its normal and exceptional
+continuations, and any statement containing a call, ``raise``,
+``assert``, ``await`` or iteration header is treated as may-raise.
+Extra paths can only make the leak/race checks *more* suspicious, never
+silently optimistic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: edge kinds: sequential/branch flow vs exception propagation
+EDGE_NEXT = "next"
+EDGE_EXC = "exc"
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement, or a virtual join/entry/exit point."""
+
+    id: int
+    stmt: Optional[ast.stmt]           # None for virtual nodes
+    label: str = ""                    # "entry" / "exit" / "raise" / "join"
+    succs: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> Optional[int]:
+        return getattr(self.stmt, "lineno", None)
+
+
+class FunctionCFG:
+    """The control-flow graph of one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: Dict[int, Node] = {}
+        self.entry = self._new(None, "entry").id
+        self.exit = self._new(None, "exit").id
+        self.raise_exit = self._new(None, "raise").id
+        #: ``if`` node id -> (body entry id, orelse entry id); an empty
+        #: branch maps to the statement's join node.  Lets path-sensitive
+        #: consumers follow only the branch consistent with a narrowing
+        #: test (``if claim is None: ... continue``).
+        self.branches: Dict[int, Tuple[int, int]] = {}
+
+    def _new(self, stmt: Optional[ast.stmt], label: str = "") -> Node:
+        node = Node(id=len(self.nodes), stmt=stmt, label=label)
+        self.nodes[node.id] = node
+        return node
+
+    def _edge(self, src: int, dst: int, kind: str = EDGE_NEXT) -> None:
+        if (dst, kind) not in self.nodes[src].succs:
+            self.nodes[src].succs.append((dst, kind))
+
+    def successors(self, nid: int) -> List[Tuple[int, str]]:
+        return self.nodes[nid].succs
+
+    def statement_nodes(self) -> Iterable[Node]:
+        """Every non-virtual node, in id (construction) order."""
+        for nid in sorted(self.nodes):
+            node = self.nodes[nid]
+            if node.stmt is not None:
+                yield node
+
+    def reachable_from(self, starts: Iterable[int],
+                       inclusive: bool = False) -> Set[int]:
+        """Node ids reachable from ``starts`` along any edge kind."""
+        work = list(starts)
+        seen: Set[int] = set(work) if inclusive else set()
+        visited: Set[int] = set()
+        while work:
+            nid = work.pop()
+            if nid in visited:
+                continue
+            visited.add(nid)
+            for succ, _ in self.nodes[nid].succs:
+                seen.add(succ)
+                if succ not in visited:
+                    work.append(succ)
+        return seen
+
+
+def header_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """The AST a CFG node executes *itself*.
+
+    For compound statements that is the header only — the ``if`` test,
+    the ``for`` iterable/target, the ``with`` context expressions — the
+    body statements are separate CFG nodes.  Simple statements execute
+    whole.  Flow-sensitive checks must scan these (not ``ast.walk`` the
+    raw ``stmt``) or a compound header node would double-count its body.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item for item in stmt.items]
+    return [stmt]
+
+
+_header_exprs = header_exprs
+
+
+def local_walk(root: ast.AST) -> Iterable[ast.AST]:
+    """``ast.walk`` minus nested function/class/lambda bodies.
+
+    Yields every descendant of ``root`` (not ``root`` itself) that runs
+    when ``root``'s own scope runs — a ``time.sleep`` inside a nested
+    callback is *deferred*, not executed by the enclosing coroutine.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Whether executing ``stmt`` (its header, for compounds) can raise.
+
+    Calls, explicit ``raise``, ``assert``, ``await`` and iteration /
+    context-manager headers count; attribute access and arithmetic are
+    deliberately ignored — treating *everything* as may-raise would turn
+    every straight-line acquire/release pair into a reported leak.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert, ast.With, ast.AsyncWith,
+                         ast.For, ast.AsyncFor)):
+        return True
+    for root in _header_exprs(stmt):
+        for node in ast.walk(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue  # defining a function runs nothing
+            if isinstance(node, (ast.Call, ast.Await, ast.Yield,
+                                 ast.YieldFrom)):
+                return True
+    return False
+
+
+#: handler type names treated as catching every exception.  ``except
+#: Exception`` technically lets ``KeyboardInterrupt``/``SystemExit``
+#: escape, but treating it as a catch-all keeps the leak checks focused
+#: on reachable bug paths: those two mean the process is being torn
+#: down, which lease TTLs and stale-tmp sweeps already cover.
+_CATCH_ALL = {"BaseException", "Exception"}
+
+
+def _catches_all(handlers: List[ast.ExceptHandler]) -> bool:
+    """Whether some handler is a bare ``except`` or names a catch-all."""
+    for handler in handlers:
+        node = handler.type
+        if node is None:
+            return True
+        names = node.elts if isinstance(node, ast.Tuple) else [node]
+        for name in names:
+            terminal = (name.attr if isinstance(name, ast.Attribute)
+                        else getattr(name, "id", None))
+            if terminal in _CATCH_ALL:
+                return True
+    return False
+
+
+class _Builder:
+    """Recursive CFG construction over one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = FunctionCFG(func)
+        #: innermost exception continuation (handler dispatch / finally /
+        #: the virtual raise_exit)
+        self._exc: List[int] = [self.cfg.raise_exit]
+        #: (loop head id, loop after id) for break/continue
+        self._loops: List[Tuple[int, int]] = []
+        #: (finally entry id, loop depth at entry) for live ``finally``
+        #: blocks — ``return``/``break``/``continue`` that cross one must
+        #: route through it, not jump straight to their target
+        self._finallies: List[Tuple[int, int]] = []
+
+    # -- plumbing --------------------------------------------------------
+
+    def _stmt_node(self, stmt: ast.stmt, pred: Optional[int]) -> int:
+        node = self.cfg._new(stmt)
+        if pred is not None:
+            self.cfg._edge(pred, node.id)
+        if may_raise(stmt):
+            self.cfg._edge(node.id, self._exc[-1], EDGE_EXC)
+        return node.id
+
+    def _join(self) -> int:
+        return self.cfg._new(None, "join").id
+
+    # -- statement lowering ----------------------------------------------
+
+    def seq(self, stmts: List[ast.stmt], pred: Optional[int]
+            ) -> Optional[int]:
+        cur = pred
+        for stmt in stmts:
+            if cur is None:
+                break  # unreachable after return/raise/break/continue
+            cur = self.stmt(stmt, cur)
+        return cur
+
+    def stmt(self, stmt: ast.stmt, pred: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, pred)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, pred)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, pred)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, pred)
+        if isinstance(stmt, ast.Return):
+            nid = self._stmt_node(stmt, pred)
+            # a return crossing finally blocks runs them on the way out
+            target = (self._finallies[-1][0] if self._finallies
+                      else self.cfg.exit)
+            self.cfg._edge(nid, target)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self._stmt_node(stmt, pred)  # exc edge added by _stmt_node
+            return None
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            nid = self._stmt_node(stmt, pred)
+            if self._loops:
+                head, after = self._loops[-1]
+                self.cfg._edge(nid, after if isinstance(stmt, ast.Break)
+                               else head)
+            # a finally entered inside the innermost loop is crossed by
+            # the jump and runs first (extra path kept: may-direction)
+            crossed = [f for f, depth in self._finallies
+                       if depth == len(self._loops)]
+            if crossed:
+                self.cfg._edge(nid, crossed[-1])
+            return None
+        # nested defs/classes and all simple statements: one node
+        return self._stmt_node(stmt, pred)
+
+    def _if(self, stmt: ast.If, pred: int) -> Optional[int]:
+        head = self._stmt_node(stmt, pred)
+        join = self._join()
+        entries = []
+        reached = False
+        for branch in (stmt.body, stmt.orelse):
+            if branch:
+                entries.append(len(self.cfg.nodes))  # next node's id
+                out = self.seq(branch, head)
+                if out is not None:
+                    self.cfg._edge(out, join)
+                    reached = True
+            else:
+                entries.append(join)
+                self.cfg._edge(head, join)
+                reached = True
+        self.cfg.branches[head] = (entries[0], entries[1])
+        return join if reached else None
+
+    def _loop(self, stmt: ast.stmt, pred: int) -> int:
+        head = self._stmt_node(stmt, pred)
+        after = self._join()
+        # the loop may run zero times (or its condition may go false)
+        self.cfg._edge(head, after)
+        self._loops.append((head, after))
+        try:
+            out = self.seq(stmt.body, head)
+        finally:
+            self._loops.pop()
+        if out is not None:
+            self.cfg._edge(out, head)
+        if getattr(stmt, "orelse", None):
+            else_out = self.seq(stmt.orelse, head)
+            if else_out is not None:
+                self.cfg._edge(else_out, after)
+        return after
+
+    def _with(self, stmt: ast.stmt, pred: int) -> Optional[int]:
+        head = self._stmt_node(stmt, pred)
+        return self.seq(stmt.body, head)
+
+    def _try(self, stmt: ast.Try, pred: int) -> Optional[int]:
+        after = self._join()
+        outer_exc = self._exc[-1]
+
+        if stmt.finalbody:
+            # One finally chain serves both continuations: its exit feeds
+            # ``after`` (normal) and the outer exception target
+            # (propagation).  Conservative path merging — see module doc.
+            f_entry = self._join()
+            f_out = self.seq(stmt.finalbody, f_entry)
+            if f_out is not None:
+                self.cfg._edge(f_out, after)
+                self.cfg._edge(f_out, outer_exc, EDGE_EXC)
+            normal_cont, exc_cont = f_entry, f_entry
+        else:
+            normal_cont, exc_cont = after, outer_exc
+
+        # handler dispatch point: body exceptions land here, then go to
+        # every handler *and* (typed handlers may not match) escape
+        # outward — unless some handler is a catch-all
+        dispatch = self._join()
+        if not _catches_all(stmt.handlers):
+            self.cfg._edge(dispatch, exc_cont, EDGE_EXC)
+
+        if stmt.finalbody:
+            self._finallies.append((f_entry, len(self._loops)))
+
+        self._exc.append(dispatch)
+        try:
+            body_out = self.seq(stmt.body, pred)
+        finally:
+            self._exc.pop()
+        if not any(dst == dispatch
+                   for node in self.cfg.nodes.values()
+                   for dst, _ in node.succs if node.id != dispatch):
+            # nothing in the body can raise: still keep the dispatch
+            # wired so handler code stays reachable for the analyses
+            self.cfg._edge(pred, dispatch, EDGE_EXC)
+
+        self._exc.append(exc_cont)
+        try:
+            for handler in stmt.handlers:
+                h_out = self.seq(handler.body, dispatch)
+                if h_out is not None:
+                    self.cfg._edge(h_out, normal_cont)
+            if stmt.orelse:
+                if body_out is not None:
+                    else_out = self.seq(stmt.orelse, body_out)
+                    if else_out is not None:
+                        self.cfg._edge(else_out, normal_cont)
+                body_out = None
+        finally:
+            self._exc.pop()
+            if stmt.finalbody:
+                self._finallies.pop()
+
+        if body_out is not None:
+            self.cfg._edge(body_out, normal_cont)
+        if stmt.finalbody and normal_cont is not after:
+            # reachable only through the finally chain's exit edges
+            pass
+        return after
+
+
+def build_cfg(func: ast.AST) -> FunctionCFG:
+    """Lower one ``FunctionDef``/``AsyncFunctionDef`` body to a CFG."""
+    builder = _Builder(func)
+    out = builder.seq(list(func.body), builder.cfg.entry)
+    if out is not None:
+        builder.cfg._edge(out, builder.cfg.exit)
+    return builder.cfg

@@ -41,7 +41,10 @@ def parse_pragmas(text: str, path: str = "<source>") -> Dict[int, Set[str]]:
     the syntax do not count).  A trailing pragma suppresses findings on
     its own line; a pragma inside a comment-only block also covers the
     first code line after the block, so a multi-line justification can
-    sit above the code it excuses.
+    sit above the code it excuses.  When that first code line is a
+    decorator, :func:`attach_decorator_pragmas` extends the coverage to
+    the decorated ``def``/``class`` line itself — findings anchor there,
+    not on the ``@`` line.
     """
     suppressions: Dict[int, Set[str]] = {}
     try:
@@ -81,6 +84,27 @@ def parse_pragmas(text: str, path: str = "<source>") -> Dict[int, Set[str]]:
     return suppressions
 
 
+def attach_decorator_pragmas(tree: ast.Module,
+                             suppressions: Dict[int, Set[str]]) -> None:
+    """Extend pragmas on decorator lines to the decorated definition.
+
+    A comment-block pragma above ``@dataclass`` lands on the ``@`` line,
+    but findings for the class or (async) function anchor at the
+    ``class``/``def`` line below the whole decorator stack.  Walking the
+    AST instead of counting brackets keeps multi-line decorator calls
+    and stacked decorators correct for free.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        rules: Set[str] = set()
+        for decorator in node.decorator_list:
+            rules.update(suppressions.get(decorator.lineno, set()))
+        if rules:
+            suppressions.setdefault(node.lineno, set()).update(rules)
+
+
 @dataclass
 class SourceFile:
     """One parsed module under analysis."""
@@ -99,9 +123,11 @@ class SourceFile:
         module = rel[:-3].replace("/", ".")
         if module.endswith(".__init__"):
             module = module[: -len(".__init__")]
+        tree = ast.parse(text, filename=str(path))
+        suppressions = parse_pragmas(text, rel)
+        attach_decorator_pragmas(tree, suppressions)
         return cls(path=path, rel=rel, module=module, text=text,
-                   tree=ast.parse(text, filename=str(path)),
-                   suppressions=parse_pragmas(text, rel))
+                   tree=tree, suppressions=suppressions)
 
     def suppressed(self, rule: str, line: int) -> bool:
         rules = self.suppressions.get(line)

@@ -1,8 +1,10 @@
 """The staticcheck rule registry.
 
 Every rule has a stable ID (``DT*`` determinism, ``FH*`` float hygiene,
-``FS*`` fork safety, ``CK*`` cache-key soundness), a severity, and a
-one-line summary; the full reference lives in docs/staticcheck.md.  The
+``FS*`` fork safety, ``CK*`` cache-key soundness, ``AS*`` async
+soundness, ``SH*`` shared-state isolation, ``RS*`` resource lifecycle),
+a severity, and a one-line summary; the full reference lives in
+docs/staticcheck.md.  The
 registry is what the CLI's ``--rule`` filter, the pragma parser and the
 JSON report key off, so IDs are append-only: retiring a rule leaves its
 ID reserved.
@@ -20,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 #: bump on any change to the rule set or a rule's detection logic
-REGISTRY_VERSION = 1
+REGISTRY_VERSION = 2
 
 
 class Severity(enum.Enum):
@@ -78,6 +80,39 @@ _ALL_RULES = (
     Rule("CK102", "dynamic-getattr", Severity.WARNING, "cache-key",
          "getattr() with a computed attribute name in fingerprinted "
          "code — fingerprint-invisible dispatch"),
+    Rule("AS101", "blocking-call-in-coroutine", Severity.ERROR,
+         "async-soundness",
+         "blocking primitive (time.sleep, sync file/socket I/O, "
+         "subprocess, store/queue disk ops) reachable from a coroutine — "
+         "it stalls every session on the event loop"),
+    Rule("AS102", "unawaited-coroutine", Severity.ERROR, "async-soundness",
+         "coroutine called but never awaited — the body silently never "
+         "runs"),
+    Rule("AS103", "orphan-task", Severity.ERROR, "async-soundness",
+         "create_task()/ensure_future() result dropped — the task can be "
+         "garbage-collected mid-flight and its exceptions are lost"),
+    Rule("AS104", "lock-across-await", Severity.ERROR, "async-soundness",
+         "synchronous lock held across an await — any other task needing "
+         "the lock deadlocks the event loop"),
+    Rule("SH201", "class-level-mutable", Severity.ERROR, "shared-state",
+         "mutable container in a class body mutated through self — one "
+         "object is shared by every instance (and every session)"),
+    Rule("SH202", "read-await-write-race", Severity.WARNING, "shared-state",
+         "instance attribute read before and written after an await in a "
+         "concurrently spawned coroutine — another task can interleave "
+         "at the await"),
+    Rule("SH203", "fork-closure-target", Severity.ERROR, "shared-state",
+         "process target is a closure/lambda/bound method — it drags its "
+         "captured state across fork()/spawn"),
+    Rule("RS301", "leaked-handle", Severity.ERROR, "resource-lifecycle",
+         "file/socket handle acquired outside `with` not closed on every "
+         "CFG path (including exception edges)"),
+    Rule("RS302", "leaked-lease", Severity.ERROR, "resource-lifecycle",
+         "queue lease claimed (or received) but not completed/released "
+         "on every CFG path — the cell stays locked until TTL expiry"),
+    Rule("RS303", "orphan-tempfile", Severity.WARNING, "resource-lifecycle",
+         "tmp file created but not renamed/removed on every CFG path — "
+         "crash debris accumulates in the store"),
 )
 
 #: id -> Rule (insertion order = documentation order).  Built in one
@@ -109,3 +144,26 @@ def resolve(token: str) -> str:
 
 def resolve_many(tokens: Iterable[str]) -> List[str]:
     return [resolve(token) for token in tokens]
+
+
+#: family name -> rule IDs, in declaration order
+FAMILIES: Dict[str, List[str]] = {}
+for _rule in _ALL_RULES:
+    FAMILIES.setdefault(_rule.family, []).append(_rule.id)
+del _rule
+
+
+def expand(tokens: Iterable[str]) -> List[str]:
+    """Like :func:`resolve_many`, but a family name selects every rule
+    in that family (``--rule async-soundness``).  Pragmas stay
+    single-rule on purpose — a blanket family suppression hides too
+    much — so this is for CLI filters only.
+    """
+    out: List[str] = []
+    for token in tokens:
+        stripped = token.strip()
+        if stripped in FAMILIES:
+            out.extend(FAMILIES[stripped])
+        else:
+            out.append(resolve(stripped))
+    return out

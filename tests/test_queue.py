@@ -24,6 +24,7 @@ from repro.harness import (
 from repro.harness.jobs import JobSpec, make_job
 from repro.harness.manifest import STATUS_COMPUTED, STATUS_FAILED
 from repro.harness.queue import DEFAULT_LEASE_TTL, default_worker_id
+from repro.harness.worker import poll_delay
 
 import tests.harness_helpers as helpers
 
@@ -218,6 +219,16 @@ class TestWorkerLoop:
         host, _, pid = default_worker_id().partition(":")
         assert host
         assert int(pid) > 0
+
+    def test_poll_delay_is_deterministic_and_in_range(self):
+        for worker_id in ("w1", "w2", "host-3:1234"):
+            delay = poll_delay(worker_id, poll=0.05)
+            assert delay == poll_delay(worker_id, poll=0.05)
+            assert 0.025 <= delay < 0.05
+
+    def test_poll_delay_dephases_a_lockstep_fleet(self):
+        delays = {poll_delay(f"worker-{i}") for i in range(16)}
+        assert len(delays) > 8  # worker-id hash spreads the wakeups
 
     def test_sigterm_kill_drill_releases_the_held_lease(self, tmp_path,
                                                         monkeypatch):

@@ -7,6 +7,7 @@ names (and the harness exemption, which keys off them) behave exactly as
 they do over the real tree.
 """
 
+import ast
 import textwrap
 
 import pytest
@@ -19,7 +20,11 @@ from repro.staticcheck import (
     load_baseline,
     write_baseline,
 )
-from repro.staticcheck.model import PragmaError, parse_pragmas
+from repro.staticcheck.model import (
+    PragmaError,
+    attach_decorator_pragmas,
+    parse_pragmas,
+)
 from repro.staticcheck.rules import resolve
 
 
@@ -44,10 +49,21 @@ def test_registry_ids_and_slugs_resolve():
         resolve("no-such-rule")
 
 
-def test_registry_covers_all_four_families():
+def test_registry_covers_all_seven_families():
     families = {rule.family for rule in RULES.values()}
     assert families == {"determinism", "float-hygiene", "fork-safety",
-                        "cache-key"}
+                        "cache-key", "async-soundness", "shared-state",
+                        "resource-lifecycle"}
+
+
+def test_family_names_expand_to_their_rules():
+    from repro.staticcheck.rules import FAMILIES, expand
+    assert set(expand(["async-soundness"])) == set(
+        FAMILIES["async-soundness"])
+    assert expand(["DT101", "resource-lifecycle"])[0] == "DT101"
+    assert "RS302" in expand(["resource-lifecycle"])
+    with pytest.raises(ValueError):
+        expand(["no-such-family"])
 
 
 # -- pragmas -------------------------------------------------------------
@@ -68,6 +84,40 @@ def test_comment_block_pragma_covers_next_code_line():
 def test_docstring_mention_is_not_a_pragma():
     text = '"""Docs show `# staticcheck: ignore[DT101]` syntax."""\n'
     assert parse_pragmas(text) == {}
+
+
+def test_pragma_above_dataclass_decorator_covers_the_class_line():
+    text = ("from dataclasses import dataclass\n"
+            "# staticcheck: ignore[SH201] frozen config table\n"
+            "@dataclass\n"
+            "class Config:\n"
+            "    pass\n")
+    suppressions = parse_pragmas(text)
+    attach_decorator_pragmas(ast.parse(text), suppressions)
+    assert "SH201" in suppressions[4]       # the ``class`` line itself
+
+
+def test_pragma_above_decorated_async_def_suppresses_its_finding(tmp_path):
+    source = """\
+        from repro.harness.queue import Claim
+
+        def keep(func):
+            return func
+
+        # staticcheck: ignore[RS302] lease is released by the driver
+        @keep
+        async def seeded(claim: Claim):
+            return claim.key
+    """
+    report = check(tmp_path, source, rules=["RS302"])
+    assert rule_ids(report) == []
+    assert report.suppressed == 1
+    # without the pragma the finding anchors at the ``async def`` line
+    stripped = textwrap.dedent(source).replace(
+        "# staticcheck: ignore[RS302] lease is released by the driver\n",
+        "")
+    report = check(tmp_path, stripped, rules=["RS302"])
+    assert rule_ids(report) == ["RS302"]
 
 
 def test_unknown_rule_in_pragma_is_an_error():
